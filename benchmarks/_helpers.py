@@ -1,0 +1,25 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures: it
+computes the same rows/series, prints them (visible in the pytest run),
+and saves them under ``benchmark_results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def emit(experiment_id: str, text: str) -> None:
+    """Print a result table and persist it to benchmark_results/."""
+    banner = f"\n===== {experiment_id} =====\n"
+    print(banner + text + "\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,116 @@
+"""Figure 10(a): quality over cumulative time, Rerun vs. Incremental;
+Figure 10(b): F1 under the three semantics on all five systems.
+
+Expected shapes: (a) Incremental reaches each quality level in less
+cumulative time while tracking Rerun's F1 closely — plus the §4.2 parity
+checks (high-confidence overlap, probability agreement); (b) ratio ≥
+logical ≥ linear on most systems.
+"""
+
+import time
+
+from _helpers import emit, once
+
+from repro.core import EngineConfig, IncrementalEngine, RerunEngine
+from repro.kbc.quality import high_confidence_overlap, probability_agreement
+from repro.util.tables import format_table
+from repro.workloads import ALL_SYSTEMS, build_pipeline, workload_by_name
+
+
+def _fig10a() -> str:
+    pipeline = build_pipeline(workload_by_name("news"), scale=0.5, seed=0)
+    grounder = pipeline.build_base()
+    config = EngineConfig(
+        materialization_samples=2400,
+        inference_steps=400,
+        inference_samples=400,
+        variational_lam=0.1,
+        variational_inference_samples=400,
+        seed=0,
+    )
+    incremental = IncrementalEngine(grounder.graph, config)
+    incremental.materialize()
+    rerun = RerunEngine(grounder.graph, config)
+
+    rows = []
+    rerun_clock = inc_clock = 0.0
+    overlaps, agreements = [], []
+    for label, update in pipeline.snapshot_updates():
+        delta = grounder.apply_update(**update).delta
+        graph = grounder.graph
+        # Learning happens identically for both systems; the paper's
+        # Fig. 10a compares the *inference* wait time per iteration.
+        pipeline.learn_weights(graph, epochs=6)
+
+        t0 = time.perf_counter()
+        out_rerun = rerun.apply_update(delta)
+        rerun_clock += time.perf_counter() - t0
+        t0 = time.perf_counter()
+        out_inc = incremental.apply_update(delta)
+        inc_clock += time.perf_counter() - t0
+
+        f1_rerun = pipeline.evaluate(
+            pipeline.extract_pairs(graph, out_rerun.marginals)
+        )["f1"]
+        f1_inc = pipeline.evaluate(
+            pipeline.extract_pairs(graph, out_inc.marginals)
+        )["f1"]
+        m_rerun = pipeline.mention_marginals(graph, out_rerun.marginals)
+        m_inc = pipeline.mention_marginals(graph, out_inc.marginals)
+        overlaps.append(high_confidence_overlap(m_rerun, m_inc))
+        agreements.append(probability_agreement(m_rerun, m_inc))
+        rows.append(
+            [
+                label,
+                f"{rerun_clock:.2f}",
+                f"{f1_rerun:.3f}",
+                f"{inc_clock:.2f}",
+                f"{f1_inc:.3f}",
+            ]
+        )
+    table = format_table(
+        [
+            "rule", "rerun cumulative s", "rerun F1",
+            "incremental cumulative s", "incremental F1",
+        ],
+        rows,
+        title="Quality over time on News (paper Fig. 10a)",
+    )
+    avg_overlap = sum(overlaps) / len(overlaps)
+    avg_agree = sum(agreements) / len(agreements)
+    table += (
+        f"\nhigh-confidence (>0.9) overlap Rerun->Incremental: "
+        f"{avg_overlap:.2%} (paper: 99%)"
+        f"\nfacts agreeing within 0.05 probability: {avg_agree:.2%} "
+        f"(paper: >=96%)"
+    )
+    return table
+
+
+def _fig10b() -> str:
+    rows = []
+    for spec in ALL_SYSTEMS:
+        row = [spec.name]
+        for semantics in ("linear", "logical", "ratio"):
+            pipeline = build_pipeline(
+                spec, scale=0.4, semantics=semantics, seed=0
+            )
+            grounder = pipeline.build_base()
+            for _label, update in pipeline.snapshot_updates():
+                grounder.apply_update(**update)
+            result = pipeline.run_current(learn_epochs=10, num_samples=100)
+            row.append(f"{result.quality['f1']:.3f}")
+        rows.append(row)
+    return format_table(
+        ["system", "linear", "logical", "ratio"],
+        rows,
+        title="F1 per semantics (paper Fig. 10b)",
+    )
+
+
+def test_fig10a_quality_over_time(benchmark):
+    emit("fig10a_quality_over_time", once(benchmark, _fig10a))
+
+
+def test_fig10b_semantics_quality(benchmark):
+    emit("fig10b_semantics_quality", once(benchmark, _fig10b))

@@ -1,0 +1,85 @@
+"""Figure 11: lesion study of the materialization strategies on News.
+
+Variants: the full system; NoSampling (variational only); NoRelaxation
+(sampling only — falls back to nothing when exhausted, so it keeps
+consuming the bundle); NoWorkloadInfo (sampling until exhausted, then
+variational, ignoring the delta type).
+
+Expected shape: the full system is never worse than a lesioned variant
+across the rule categories; supervision rules punish NoRelaxation,
+analysis rules punish NoSampling.
+"""
+
+import time
+
+from _helpers import emit, once
+
+from repro.core import EngineConfig, IncrementalEngine
+from repro.core.sampling import make_sampler
+from repro.util.stats import max_marginal_error
+from repro.util.tables import format_table
+from repro.workloads import build_pipeline, workload_by_name
+
+VARIANTS = (
+    ("Full", dict()),
+    ("NoSampling", dict(strategies=("variational",))),
+    ("NoRelaxation", dict(strategies=("sampling",))),
+    ("NoWorkloadInfo", dict(workload_aware=False)),
+)
+
+
+def _experiment() -> str:
+    spec = workload_by_name("news")
+    # One grounding pass shared by all variants: collect the deltas.
+    pipeline = build_pipeline(spec, scale=0.4, seed=0)
+    grounder = pipeline.build_base()
+    base_graph = grounder.graph.copy()
+    deltas = []
+    references = []
+    for label, update in pipeline.snapshot_updates():
+        deltas.append((label, grounder.apply_update(**update).delta))
+        # Long-run reference marginals of the updated graph: a cheap
+        # variant is meaningless if its marginals are stale.
+        reference = make_sampler(grounder.graph, seed=9).estimate_marginals(
+            400, burn_in=40
+        )
+        references.append(reference)
+
+    rows = {label: [label] for label, _ in deltas}
+    for name, overrides in VARIANTS:
+        config = EngineConfig(
+            materialization_samples=1500,
+            inference_steps=200,
+            inference_samples=120,
+            variational_lam=0.1,
+            variational_inference_samples=60,
+            seed=0,
+            **overrides,
+        )
+        engine = IncrementalEngine(base_graph, config)
+        engine.materialize()
+        for (label, delta), reference in zip(deltas, references):
+            t0 = time.perf_counter()
+            outcome = engine.apply_update(delta)
+            elapsed = time.perf_counter() - t0
+            free = [
+                v
+                for v in range(len(reference))
+                if not engine.current_graph.is_evidence(v)
+            ]
+            err = max_marginal_error(
+                outcome.marginals[free], reference[free]
+            )
+            rows[label].append(f"{elapsed:.3f} ({err:.2f})")
+    return format_table(
+        ["rule"] + [name for name, _ in VARIANTS],
+        [rows[label] for label, _ in deltas],
+        title=(
+            "Lesion study: inference seconds per update "
+            "(max marginal error vs long-run reference) — paper Fig. 11"
+        ),
+    )
+
+
+def test_fig11_lesion(benchmark):
+    emit("fig11_lesion", once(benchmark, _experiment))

@@ -1,0 +1,63 @@
+"""Figures 12–13: Gibbs convergence of the voting program per semantics.
+
+Figure 12's bounds: logical/ratio mix in Θ(n log n) variable updates;
+linear in 2^Θ(n).  The empirical run (Fig. 13) starts every chain at the
+worst-case corner (q and all Up voters true) and measures sweeps until
+the ensemble marginal of q is within tolerance of the exact value 0.5.
+
+Expected shape: linear's update count explodes (hits the sweep cap)
+while logical and ratio grow near-linearly in n.
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.graph import Semantics
+from repro.inference.convergence import sweeps_to_marginal
+from repro.util.tables import format_table
+from repro.workloads import voting_program
+
+SIZES = (5, 10, 20, 40)
+MAX_SWEEPS = 800
+
+
+def _experiment() -> str:
+    bounds = format_table(
+        ["semantics", "upper bound", "lower bound"],
+        [
+            ["logical", "O(n log n)", "Omega(n log n)"],
+            ["ratio", "O(n log n)", "Omega(n log n)"],
+            ["linear", "2^O(n)", "2^Omega(n)"],
+        ],
+        title="Theoretical bounds (paper Fig. 12)",
+    )
+    rows = []
+    for n in SIZES:
+        row = [f"{2 * n}"]
+        worst = np.zeros(1 + 2 * n, dtype=bool)
+        worst[: 1 + n] = True
+        for sem in (Semantics.LOGICAL, Semantics.RATIO, Semantics.LINEAR):
+            graph = voting_program(n, n, semantics=sem)
+            result = sweeps_to_marginal(
+                graph,
+                var=0,
+                target=0.5,
+                tol=0.04,
+                num_chains=24,
+                max_sweeps=MAX_SWEEPS,
+                seed=0,
+                initial=worst,
+            )
+            suffix = "" if result["converged"] else "+cap"
+            row.append(f"{result['variable_updates']}{suffix}")
+        rows.append(row)
+    empirical = format_table(
+        ["|U|+|D|", "logical updates", "ratio updates", "linear updates"],
+        rows,
+        title=f"Empirical convergence, cap={MAX_SWEEPS} sweeps (paper Fig. 13)",
+    )
+    return bounds + "\n\n" + empirical
+
+
+def test_fig13_convergence(benchmark):
+    emit("fig12_fig13_convergence", once(benchmark, _experiment))

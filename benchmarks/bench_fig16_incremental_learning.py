@@ -1,0 +1,98 @@
+"""Figure 16: convergence of incremental learning strategies (App. B.3).
+
+The F2+S2 update adds new features and new labelled examples; we compare
+SGD with warmstart (DeepDive), SGD cold, and full gradient descent with
+warmstart, measuring epochs/time until each is within 10% of the optimal
+loss.
+
+Expected shape: SGD+Warmstart reaches the 10% band first; cold SGD pays
+the restart; GD+Warmstart converges slowest per unit time.
+"""
+
+import numpy as np
+from _helpers import emit, once
+
+from repro.learning import LogisticRegression
+from repro.util.tables import format_table
+from repro.util.rng import as_generator
+
+
+def _make_task(seed=0, n_old=800, n_new=400, d_old=60, d_new=40):
+    """Base training set, then an F2+S2-style update with new features
+    and new examples."""
+    rng = as_generator(seed)
+    d = d_old + d_new
+    truth = rng.normal(size=d)
+    def draw(n, feature_pool):
+        rows, ys = [], []
+        for _ in range(n):
+            feats = rng.choice(feature_pool, size=6, replace=False).tolist()
+            rows.append([int(f) for f in feats])
+            ys.append(truth[feats].sum() > 0)
+        return rows, np.asarray(ys)
+
+    old_rows, old_y = draw(n_old, np.arange(d_old))
+    new_rows, new_y = draw(n_new, np.arange(d))
+    all_rows = old_rows + new_rows
+    all_y = np.concatenate([old_y, new_y])
+    return d, old_rows, old_y, all_rows, all_y
+
+
+def _experiment() -> str:
+    d, old_rows, old_y, all_rows, all_y = _make_task()
+
+    # Proxy for the optimal loss: long GD run (the paper runs 24h).
+    optimum = LogisticRegression(d, seed=0)
+    optimum.fit_gd(all_rows, all_y, epochs=600, step_size=1.0)
+    target = optimum.loss(all_rows, all_y) * 1.10
+
+    def pretrained():
+        model = LogisticRegression(d, seed=1)
+        model.fit_sgd(old_rows, old_y, epochs=15, step_size=0.3)
+        return model
+
+    traces = []
+    model = pretrained()
+    traces.append(
+        model.fit_sgd(
+            all_rows, all_y, epochs=40, step_size=0.3,
+            strategy_name="SGD+Warmstart",
+        )
+    )
+    model = pretrained()
+    traces.append(
+        model.fit_sgd(
+            all_rows, all_y, epochs=40, step_size=0.3, warmstart=False,
+            strategy_name="SGD-Warmstart",
+        )
+    )
+    model = pretrained()
+    traces.append(
+        model.fit_gd(
+            all_rows, all_y, epochs=40, step_size=1.0,
+            strategy_name="GD+Warmstart",
+        )
+    )
+
+    rows = []
+    for trace in traces:
+        reached = trace.time_to_loss(target)
+        rows.append(
+            [
+                trace.strategy,
+                f"{trace.losses[0]:.4f}",
+                f"{trace.final_loss():.4f}",
+                "never" if reached is None else f"{reached:.3f}",
+            ]
+        )
+    table = format_table(
+        ["strategy", "loss @ epoch 1", "final loss", "s to 10% of optimal"],
+        rows,
+        title="Incremental learning strategies (paper Fig. 16)",
+    )
+    table += f"\noptimal-loss proxy: {optimum.loss(all_rows, all_y):.4f}"
+    return table
+
+
+def test_fig16_incremental_learning(benchmark):
+    emit("fig16_incremental_learning", once(benchmark, _experiment))

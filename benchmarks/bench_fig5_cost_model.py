@@ -1,0 +1,39 @@
+"""Figure 5 (left): the analytic cost model table."""
+
+from _helpers import emit, once
+
+from repro.core.costmodel import SENSITIVITY, CostInputs, all_costs
+from repro.util.tables import format_table
+
+
+def _experiment() -> str:
+    p = CostInputs(
+        na=1000, nf=50, f=3000, f_new=150, rho=0.5,
+        s_inference=1000, s_materialization=2000,
+    )
+    rows = []
+    for cost in all_costs(p):
+        sens = SENSITIVITY[cost["strategy"]]
+        rows.append(
+            [
+                cost["strategy"],
+                f"{cost['mat_space']:.3g}",
+                f"{cost['mat_cost']:.3g}",
+                f"{cost['inference_cost']:.3g}",
+                sens["graph_size"],
+                sens["change"],
+                sens["sparsity"],
+            ]
+        )
+    return format_table(
+        [
+            "strategy", "mat space", "mat cost", "inference cost",
+            "sens:size", "sens:change", "sens:sparsity",
+        ],
+        rows,
+        title="Analytic cost model (na=1000, nf=50, f=3000, f'=150, rho=0.5)",
+    )
+
+
+def test_fig5_cost_model(benchmark):
+    emit("fig5_cost_model", once(benchmark, _experiment))

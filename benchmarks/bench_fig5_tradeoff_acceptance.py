@@ -1,0 +1,69 @@
+"""Figure 5(b): execution time vs. MH acceptance rate.
+
+Expected shape: at high acceptance the sampling approach wins by orders
+of magnitude (stored proposals are nearly free); as acceptance falls the
+per-effective-sample cost grows ∝ 1/ρ and the variational approach —
+whose cost ignores ρ — crosses over.
+"""
+
+import time
+
+from _helpers import emit, once
+
+from repro.core import SampleMaterialization, VariationalMaterialization
+from repro.util.tables import format_table
+from repro.workloads import delta_with_acceptance, synthetic_pairwise_graph
+
+ACCEPTANCE_TARGETS = (1.0, 0.5, 0.1, 0.01)
+EFFECTIVE_SAMPLES = 150
+
+
+def _experiment() -> str:
+    graph = synthetic_pairwise_graph(150, sparsity=0.5, seed=0)
+    rows = []
+    for target in ACCEPTANCE_TARGETS:
+        sampling = SampleMaterialization(graph, seed=0)
+        sampling.materialize(num_samples=4000, burn_in=30)
+        # Low acceptance targets need deltas touching many variables
+        # (single-variable perturbations bottom out around rho ~ 2%).
+        num_factors = 5 if target >= 0.1 else 40
+        delta, measured = delta_with_acceptance(
+            graph, sampling, target_acceptance=target, seed=2,
+            num_factors=num_factors,
+        )
+        t0 = time.perf_counter()
+        result = sampling.infer(delta, num_steps=1500)
+        elapsed = time.perf_counter() - t0
+        per_effective = elapsed / max(result.accepted, 1)
+        sampling_time = per_effective * EFFECTIVE_SAMPLES
+
+        variational = VariationalMaterialization(graph, lam=0.05, seed=0)
+        variational.materialize(samples=sampling.samples)
+        variational.apply_update(graph, delta)
+        t0 = time.perf_counter()
+        variational.infer(num_samples=EFFECTIVE_SAMPLES, burn_in=15)
+        variational_time = time.perf_counter() - t0
+
+        rows.append(
+            [
+                f"{target:.2f}",
+                f"{result.acceptance_rate:.3f}",
+                f"{sampling_time:.4f}",
+                f"{variational_time:.4f}",
+                "sampling" if sampling_time < variational_time else "variational",
+            ]
+        )
+    return format_table(
+        [
+            "target rho", "measured rho",
+            f"sampling s/{EFFECTIVE_SAMPLES} eff.",
+            f"variational s/{EFFECTIVE_SAMPLES}",
+            "winner",
+        ],
+        rows,
+        title="Acceptance-rate axis (paper Fig. 5b)",
+    )
+
+
+def test_fig5b_acceptance(benchmark):
+    emit("fig5b_tradeoff_acceptance", once(benchmark, _experiment))

@@ -1,0 +1,61 @@
+"""Figure 5(c): execution time vs. sparsity of correlations.
+
+Expected shape: the variational approach's inference time shrinks with
+the approximated graph (sparser correlations → fewer kept factors);
+the sampling approach is insensitive to sparsity.
+"""
+
+import time
+
+from _helpers import emit, once
+
+from repro.core import SampleMaterialization, VariationalMaterialization
+from repro.util.tables import format_table
+from repro.workloads import random_delta_factors, synthetic_pairwise_graph
+
+SPARSITIES = (1.0, 0.5, 0.3, 0.1)
+
+
+def _experiment() -> str:
+    rows = []
+    for sparsity in SPARSITIES:
+        graph = synthetic_pairwise_graph(
+            150, sparsity=sparsity, weight_range=0.8, seed=0
+        )
+        delta = random_delta_factors(graph, magnitude=0.3, num_factors=5, seed=1)
+
+        sampling = SampleMaterialization(graph, seed=0)
+        sampling.materialize(num_samples=1200, burn_in=30)
+        t0 = time.perf_counter()
+        sampling.infer(delta, num_steps=600)
+        sampling_time = time.perf_counter() - t0
+
+        variational = VariationalMaterialization(graph, lam=0.08, seed=0)
+        variational.materialize(samples=sampling.samples)
+        kept = variational.approximation.kept_pairs
+        variational.apply_update(graph, delta)
+        t0 = time.perf_counter()
+        variational.infer(num_samples=200, burn_in=20)
+        variational_time = time.perf_counter() - t0
+
+        rows.append(
+            [
+                f"{sparsity:.1f}",
+                graph.num_factors,
+                kept,
+                f"{sampling_time:.4f}",
+                f"{variational_time:.4f}",
+            ]
+        )
+    return format_table(
+        [
+            "sparsity", "original factors", "approx pairwise factors",
+            "sampling inf s", "variational inf s",
+        ],
+        rows,
+        title="Sparsity axis (paper Fig. 5c)",
+    )
+
+
+def test_fig5c_sparsity(benchmark):
+    emit("fig5c_tradeoff_sparsity", once(benchmark, _experiment))

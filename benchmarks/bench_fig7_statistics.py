@@ -1,0 +1,45 @@
+"""Figure 7: statistics of the five KBC systems.
+
+Our scaled miniatures next to the paper's reported sizes; the ordering
+relations (Adversarial has the most docs, News/Pharma the most factors
+per variable, Paleontology a sparse graph) are preserved.
+"""
+
+from _helpers import emit, once
+
+from repro.util.tables import format_table
+from repro.workloads import ALL_SYSTEMS, build_pipeline
+
+
+def _experiment() -> str:
+    rows = []
+    for spec in ALL_SYSTEMS:
+        pipeline = build_pipeline(spec, scale=0.5, seed=0)
+        grounder = pipeline.build_base()
+        for _label, update in pipeline.snapshot_updates():
+            grounder.apply_update(**update)
+        graph = grounder.graph
+        rows.append(
+            [
+                spec.name,
+                len(pipeline.corpus.documents),
+                spec.num_relations,
+                spec.num_rules,
+                graph.num_vars,
+                graph.num_factors,
+                f"{graph.num_factors / max(graph.num_vars, 1):.2f}",
+                f"{spec.paper_docs}/{spec.paper_vars}/{spec.paper_factors}",
+            ]
+        )
+    return format_table(
+        [
+            "system", "docs", "#rels", "#rules", "#vars", "#factors",
+            "factors/var", "paper docs/vars/factors",
+        ],
+        rows,
+        title="KBC system statistics, scaled (paper Fig. 7)",
+    )
+
+
+def test_fig7_statistics(benchmark):
+    emit("fig7_statistics", once(benchmark, _experiment))

@@ -1,0 +1,71 @@
+"""Figure 9: Rerun vs. Incremental per rule update, across all systems.
+
+Expected shape: A1 (analysis, empty delta) shows the largest speedup
+(100% acceptance, near-zero work); feature/supervision/inference rules
+show solid speedups; Pharma's I1 (the graph-inflating agreement rule) is
+the weakest row, as in the paper.
+"""
+
+import time
+
+from _helpers import emit, once
+
+from repro.core import EngineConfig, IncrementalEngine, RerunEngine
+from repro.util.tables import format_table
+from repro.workloads import ALL_SYSTEMS, build_pipeline
+
+RULES = ("A1", "FE1", "FE2", "I1", "S1", "S2")
+
+
+def _run_system(spec) -> list:
+    pipeline = build_pipeline(spec, scale=0.4, seed=0)
+    grounder = pipeline.build_base()
+    config = EngineConfig(
+        materialization_samples=1500,
+        inference_steps=200,
+        inference_samples=120,
+        variational_lam=0.1,
+        variational_inference_samples=60,
+        seed=0,
+    )
+    incremental = IncrementalEngine(grounder.graph, config)
+    incremental.materialize()
+    rerun = RerunEngine(grounder.graph, config)
+    rows = []
+    for label, update in pipeline.snapshot_updates():
+        delta = grounder.apply_update(**update).delta
+        t0 = time.perf_counter()
+        rerun.apply_update(delta)
+        rerun_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        outcome = incremental.apply_update(delta)
+        inc_s = time.perf_counter() - t0
+        rows.append((label, rerun_s, inc_s, outcome.strategy))
+    return rows
+
+
+def _experiment() -> str:
+    tables = []
+    for spec in ALL_SYSTEMS:
+        rows = [
+            [
+                label,
+                f"{rerun_s:.3f}",
+                f"{inc_s:.3f}",
+                f"{rerun_s / max(inc_s, 1e-9):.1f}x",
+                strategy,
+            ]
+            for label, rerun_s, inc_s, strategy in _run_system(spec)
+        ]
+        tables.append(
+            format_table(
+                ["rule", "rerun s", "incremental s", "speedup", "strategy"],
+                rows,
+                title=f"{spec.name} (paper Fig. 9 column)",
+            )
+        )
+    return "\n\n".join(tables)
+
+
+def test_fig9_end_to_end(benchmark):
+    emit("fig9_end_to_end", once(benchmark, _experiment))

@@ -1,0 +1,57 @@
+"""Quickstart: the paper's HasSpouse example, end to end.
+
+Builds the running example of Figure 2 — news sentences mentioning
+person pairs, a candidate mapping, a phrase-feature classifier with tied
+weights, and distant supervision from an incomplete KB — then grounds,
+learns, infers, and prints the extracted marriage facts with calibrated
+probabilities.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.kbc import CorpusConfig, KBCPipeline, generate_corpus
+
+def main() -> None:
+    # 1. A synthetic "news" corpus with a hidden gold KB of married pairs.
+    corpus = generate_corpus(
+        CorpusConfig(
+            name="quickstart-news",
+            num_docs=60,
+            sentences_per_doc=2,
+            num_entities=16,
+            cue_reliability=0.92,
+            seed=42,
+        )
+    )
+    print(f"corpus: {corpus.stats()}")
+    print(f"gold KB (hidden from the system): {sorted(corpus.gold_pairs)}\n")
+
+    # 2. Build the DeepDive program and ground the base system.
+    pipeline = KBCPipeline(corpus, semantics="ratio", seed=0)
+    grounder = pipeline.build_base()
+    print(f"grounded base system: {grounder.graph}")
+
+    # 3. Apply the development iterations (feature rules, inference rule,
+    #    supervision) exactly as a DeepDive developer would.
+    for label, update in pipeline.snapshot_updates():
+        result = grounder.apply_update(**update)
+        print(f"  applied {label}: {result.summary}")
+
+    # 4. Learn weights and infer marginal probabilities.
+    outcome = pipeline.run_current(learn_epochs=15, num_samples=150)
+    print(f"\nfinal graph: {outcome.graph}")
+
+    # 5. The output KB: high-confidence facts.
+    print("\nextracted facts (p > 0.7):")
+    for pair in sorted(outcome.predicted_pairs):
+        marker = "✓" if pair in corpus.gold_pairs else "✗"
+        print(f"  {marker} HasSpouse{pair}")
+    q = outcome.quality
+    print(
+        f"\nquality vs gold: precision={q['precision']:.2f} "
+        f"recall={q['recall']:.2f} F1={q['f1']:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that environments without the ``wheel`` package (where PEP 660 editable
+installs fail) can still do ``pip install -e . --no-build-isolation`` or
+``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""The analytic cost model of Figure 5 (left).
+
+Symbols (paper's notation):
+
+* ``na`` — original variables, ``nf`` — modified variables
+* ``f`` — original factors, ``f_new`` — modified factors (``f'``)
+* ``rho`` — MH acceptance rate
+* ``s_inference`` (SI) — samples used at inference
+* ``s_materialization`` (SM) — samples drawn at materialization
+* ``C(v, fac)`` — cost of one Gibbs pass over ``v`` variables and
+  ``fac`` factors, modelled as ``v + fac`` (fetching factors dominates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def gibbs_cost(num_vars: float, num_factors: float) -> float:
+    """``C(#v, #f)`` — cost of Gibbs over the given sizes."""
+    return float(num_vars) + float(num_factors)
+
+
+@dataclass(frozen=True)
+class CostInputs:
+    na: float
+    nf: float
+    f: float
+    f_new: float
+    rho: float
+    s_inference: float
+    s_materialization: float
+
+
+def strawman_costs(p: CostInputs) -> dict:
+    worlds = 2.0 ** min(p.na, 1023)
+    return {
+        "strategy": "strawman",
+        "mat_space": worlds,
+        "mat_cost": worlds * p.s_materialization * gibbs_cost(p.na, p.f),
+        "inference_cost": p.s_inference * gibbs_cost(p.na + p.nf, 1 + p.f_new),
+    }
+
+
+def sampling_costs(p: CostInputs) -> dict:
+    rho = max(p.rho, 1e-12)
+    return {
+        "strategy": "sampling",
+        "mat_space": p.s_inference * p.na / rho,
+        "mat_cost": p.s_inference * gibbs_cost(p.na, p.f) / rho,
+        "inference_cost": (
+            p.s_inference * p.na / rho
+            + p.s_inference * gibbs_cost(p.nf, p.f_new) / rho
+        ),
+    }
+
+
+def variational_costs(p: CostInputs) -> dict:
+    dense_pairs = p.na * p.na
+    return {
+        "strategy": "variational",
+        "mat_space": dense_pairs,
+        "mat_cost": dense_pairs + p.s_materialization * gibbs_cost(p.na, p.f),
+        "inference_cost": p.s_inference
+        * gibbs_cost(p.na + p.nf, dense_pairs + p.f_new),
+    }
+
+
+def all_costs(p: CostInputs) -> list:
+    return [strawman_costs(p), sampling_costs(p), variational_costs(p)]
+
+
+#: Qualitative sensitivity summary (Fig. 5 left, bottom rows).
+SENSITIVITY = {
+    "strawman": {"graph_size": "high", "change": "low", "sparsity": "low"},
+    "sampling": {"graph_size": "low", "change": "high", "sparsity": "low"},
+    "variational": {"graph_size": "mid", "change": "low", "sparsity": "high"},
+}

@@ -1,0 +1,227 @@
+"""The Incremental and Rerun engines compared throughout §4.
+
+:class:`IncrementalEngine` implements the paper's full pipeline:
+
+* **materialize once** — draw the sample bundle (best-effort within a
+  budget, §3.3) and learn the variational approximation *from the same
+  samples* (drawing them is the dominant materialization cost, so both
+  strategies share it);
+* **per development iteration** — receive a
+  :class:`~repro.graph.delta.FactorGraphDelta` from incremental
+  grounding, let the rule-based optimizer pick a strategy, run it, and
+  fall back from sampling to variational when the bundle runs dry.
+
+:class:`RerunEngine` is the baseline: apply the delta and run Gibbs on
+the whole updated graph from scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.optimizer import (
+    SAMPLING,
+    VARIATIONAL,
+    OptimizerDecision,
+    choose_strategy,
+)
+from repro.core.sampling import SampleMaterialization, make_sampler
+from repro.core.variational import VariationalMaterialization
+from repro.graph.delta import FactorGraphDelta, compose_deltas
+from repro.graph.factor_graph import FactorGraph
+from repro.util.rng import as_generator
+
+
+@dataclass
+class EngineConfig:
+    """Tuning knobs; the defaults are scaled-down but proportionate to the
+    paper's settings (1000 inference / 2000 materialization samples)."""
+
+    materialization_samples: int | None = 500
+    materialization_time_budget: float | None = None
+    inference_steps: int = 300
+    inference_samples: int = 200
+    variational_lam: float = 0.1
+    variational_inference_samples: int = 150
+    burn_in: int = 20
+    seed: int | None = None
+    #: Lesion knobs — remove a strategy to reproduce Fig. 11.
+    strategies: tuple = (SAMPLING, VARIATIONAL)
+    #: False reproduces the NoWorkloadInfo baseline: sampling until the
+    #: bundle is exhausted, then variational, ignoring the delta's type.
+    workload_aware: bool = True
+
+
+@dataclass
+class InferenceOutcome:
+    """Result of evaluating one update."""
+
+    marginals: np.ndarray
+    strategy: str
+    seconds: float
+    decision: OptimizerDecision | None = None
+    acceptance_rate: float | None = None
+    samples_used: int = 0
+    fell_back: bool = False
+    details: dict = field(default_factory=dict)
+
+
+class IncrementalEngine:
+    """Materialize once, evaluate many updates incrementally."""
+
+    def __init__(self, graph: FactorGraph, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        # Snapshot: the materialized distribution must not drift if the
+        # caller keeps mutating weights.
+        self.base_graph = graph.copy()
+        self.current_graph = self.base_graph
+        self.cumulative_delta: FactorGraphDelta | None = None
+        self.rng = as_generator(self.config.seed)
+        self.sampling = SampleMaterialization(self.base_graph, seed=self.rng)
+        self.variational = VariationalMaterialization(
+            self.base_graph, lam=self.config.variational_lam, seed=self.rng
+        )
+        self.materialized = False
+
+    # ------------------------------------------------------------------ #
+
+    def materialize(self) -> dict:
+        """Run both materializations; returns timing/size stats."""
+        cfg = self.config
+        start = time.perf_counter()
+        collected = self.sampling.materialize(
+            num_samples=cfg.materialization_samples,
+            time_budget=cfg.materialization_time_budget,
+            burn_in=cfg.burn_in,
+        )
+        sampling_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        if VARIATIONAL in cfg.strategies:
+            # Reuse the bundle: drawing samples dominates materialization.
+            self.variational.materialize(samples=self.sampling.samples)
+        variational_seconds = time.perf_counter() - start
+        self.materialized = True
+        return {
+            "samples": collected,
+            "sampling_seconds": sampling_seconds,
+            "variational_seconds": variational_seconds,
+            "approx_factors": self.variational.num_factors,
+            "bundle_bits": self.sampling.storage_bits(),
+        }
+
+    # ------------------------------------------------------------------ #
+
+    def _decide(self, delta: FactorGraphDelta) -> OptimizerDecision:
+        cfg = self.config
+        if SAMPLING not in cfg.strategies:
+            return OptimizerDecision(VARIATIONAL, 0, "sampling disabled (lesion)")
+        if VARIATIONAL not in cfg.strategies:
+            return OptimizerDecision(SAMPLING, 0, "variational disabled (lesion)")
+        if not cfg.workload_aware:
+            if self.sampling.samples_remaining > 0:
+                return OptimizerDecision(
+                    SAMPLING, 0, "NoWorkloadInfo: samples remain"
+                )
+            return OptimizerDecision(
+                VARIATIONAL, 0, "NoWorkloadInfo: bundle exhausted"
+            )
+        return choose_strategy(
+            self.cumulative_delta if self.cumulative_delta is not None else delta,
+            self.sampling.samples_remaining,
+        )
+
+    def apply_update(self, delta: FactorGraphDelta) -> InferenceOutcome:
+        """Evaluate one update (delta relative to the *current* graph)."""
+        if not self.materialized:
+            raise RuntimeError("materialize() before apply_update()")
+        cfg = self.config
+        started = time.perf_counter()
+
+        # Keep the variational graph in sync (cheap splice) regardless of
+        # the strategy chosen for this update, so a later fallback works.
+        if VARIATIONAL in cfg.strategies:
+            self.variational.apply_update(self.current_graph, delta)
+
+        if self.cumulative_delta is None:
+            self.cumulative_delta = delta
+        else:
+            self.cumulative_delta = compose_deltas(
+                self.base_graph, self.cumulative_delta, delta
+            )
+        self.current_graph = delta.apply(self.current_graph)
+
+        decision = self._decide(delta)
+        outcome = self._run_strategy(decision)
+        outcome.seconds = time.perf_counter() - started
+        return outcome
+
+    def _run_strategy(self, decision: OptimizerDecision) -> InferenceOutcome:
+        cfg = self.config
+        if decision.strategy == SAMPLING:
+            result = self.sampling.infer(
+                self.cumulative_delta, num_steps=cfg.inference_steps
+            )
+            if result.exhausted and VARIATIONAL in cfg.strategies:
+                marginals = self.variational.infer(
+                    num_samples=cfg.variational_inference_samples,
+                    burn_in=cfg.burn_in,
+                )
+                return InferenceOutcome(
+                    marginals=self._clamp(marginals),
+                    strategy=VARIATIONAL,
+                    seconds=0.0,
+                    decision=decision,
+                    acceptance_rate=result.acceptance_rate,
+                    samples_used=result.proposals_used,
+                    fell_back=True,
+                )
+            return InferenceOutcome(
+                marginals=self._clamp(result.marginals),
+                strategy=SAMPLING,
+                seconds=0.0,
+                decision=decision,
+                acceptance_rate=result.acceptance_rate,
+                samples_used=result.proposals_used,
+            )
+        marginals = self.variational.infer(
+            num_samples=cfg.variational_inference_samples, burn_in=cfg.burn_in
+        )
+        return InferenceOutcome(
+            marginals=self._clamp(marginals),
+            strategy=VARIATIONAL,
+            seconds=0.0,
+            decision=decision,
+        )
+
+    def _clamp(self, marginals: np.ndarray) -> np.ndarray:
+        marginals = np.asarray(marginals, dtype=float).copy()
+        for var, value in self.current_graph.evidence.items():
+            marginals[var] = 1.0 if value else 0.0
+        return marginals
+
+
+class RerunEngine:
+    """The Rerun baseline: full Gibbs on the updated graph, every time."""
+
+    def __init__(self, graph: FactorGraph, config: EngineConfig | None = None):
+        self.config = config or EngineConfig()
+        self.current_graph = graph.copy()
+        self.rng = as_generator(self.config.seed)
+
+    def apply_update(self, delta: FactorGraphDelta) -> InferenceOutcome:
+        started = time.perf_counter()
+        self.current_graph = delta.apply(self.current_graph)
+        sampler = make_sampler(self.current_graph, seed=self.rng)
+        marginals = sampler.estimate_marginals(
+            self.config.inference_samples, burn_in=self.config.burn_in
+        )
+        for var, value in self.current_graph.evidence.items():
+            marginals[var] = 1.0 if value else 0.0
+        return InferenceOutcome(
+            marginals=marginals,
+            strategy="rerun",
+            seconds=time.perf_counter() - started,
+        )

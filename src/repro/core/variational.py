@@ -1,0 +1,275 @@
+"""Variational materialization: log-determinant relaxation (§3.2.3, Alg. 1).
+
+Materialization learns a *sparser* factor graph approximating the
+original distribution: estimate the (spin) covariance matrix from Gibbs
+samples, mask it to pairs that co-occur in some factor (the ``NZ`` set),
+then solve
+
+    max  log det X
+    s.t. X_kk = M_kk + 1/3,   |X_kj − M_kj| ≤ λ,   X_kj = 0 off NZ
+
+by projected gradient ascent with a Cholesky-guarded backtracking step.
+Entries with ``|M_kj| ≤ λ`` project to zero — λ directly controls the
+sparsity of the approximation (Fig. 6).  Each non-zero off-diagonal
+becomes a pairwise (Ising) factor with weight ``X̂_ij``; unary bias
+factors are calibrated mean-field-style so the approximate graph
+reproduces the materialized marginals (the paper leaves the unary
+treatment unspecified — see DESIGN.md).
+
+The inference phase splices updates into the approximated graph in
+*energy space*: new factors are added as-is, removed factors are added
+back with negated weights, reweighted factors as shifted copies — so the
+spliced graph's energy tracks ``W_approx + δW`` exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.delta import FactorGraphDelta
+from repro.graph.delta_energy import DeltaEvaluator
+from repro.graph.factor_graph import FactorGraph
+from repro.util.rng import as_generator
+
+
+def _is_positive_definite(matrix: np.ndarray) -> bool:
+    try:
+        np.linalg.cholesky(matrix)
+        return True
+    except np.linalg.LinAlgError:
+        return False
+
+
+def solve_logdet(
+    cov: np.ndarray,
+    nz_mask: np.ndarray,
+    lam: float,
+    max_iter: int = 40,
+    tol: float = 1e-5,
+    step: float = 0.25,
+) -> np.ndarray:
+    """Algorithm 1's optimization step (line 4).
+
+    ``cov`` is the masked covariance with the ``+1/3`` diagonal boost
+    already applied; ``nz_mask`` marks allowed off-diagonal entries.
+    """
+    n = cov.shape[0]
+    if cov.shape != (n, n) or nz_mask.shape != (n, n):
+        raise ValueError("cov and nz_mask must be square and same shape")
+    diag = np.diag(cov).copy()
+    if (diag <= 0).any():
+        raise ValueError("boosted diagonal must be positive")
+    off_mask = nz_mask.astype(bool) & ~np.eye(n, dtype=bool)
+    # Masked-out entries get a degenerate [0, 0] box, i.e. they stay zero.
+    lower = (cov - lam) * off_mask
+    upper = (cov + lam) * off_mask
+
+    def project(x: np.ndarray) -> np.ndarray:
+        off = np.clip(x, lower, upper) * off_mask
+        out = off + np.diag(diag)
+        return (out + out.T) / 2.0
+
+    x = np.diag(diag)
+    x = project(x)
+    if not _is_positive_definite(x):
+        # Fall back to the always-feasible diagonal start.
+        x = np.diag(diag)
+    for _ in range(max_iter):
+        gradient = np.linalg.inv(x)
+        alpha = step
+        candidate = x
+        while alpha > 1e-9:
+            trial = project(x + alpha * gradient)
+            if _is_positive_definite(trial):
+                candidate = trial
+                break
+            alpha /= 2.0
+        if np.abs(candidate - x).max() < tol:
+            x = candidate
+            break
+        x = candidate
+    return x
+
+
+@dataclass
+class VariationalApproximation:
+    """Output of Algorithm 1 plus bookkeeping."""
+
+    graph: FactorGraph
+    means: np.ndarray
+    precision: np.ndarray
+    lam: float
+    candidate_pairs: int
+    kept_pairs: int
+
+    @property
+    def sparsity(self) -> float:
+        """Kept fraction of candidate pairwise factors."""
+        if self.candidate_pairs == 0:
+            return 0.0
+        return self.kept_pairs / self.candidate_pairs
+
+
+def learn_approximation(
+    graph: FactorGraph,
+    lam: float,
+    num_samples: int = 300,
+    samples: np.ndarray | None = None,
+    seed=None,
+    max_iter: int = 40,
+    weight_threshold: float = 1e-8,
+) -> VariationalApproximation:
+    """Algorithm 1: original graph → sparse pairwise approximation."""
+    from repro.core.sampling import make_sampler
+
+    rng = as_generator(seed)
+    if samples is None:
+        sampler = make_sampler(graph, seed=rng)
+        samples = sampler.sample_worlds(num_samples, burn_in=20)
+    spins = np.where(np.asarray(samples, dtype=bool), 1.0, -1.0)
+    means = spins.mean(axis=0)
+    centered = spins - means
+    cov_full = centered.T @ centered / max(len(spins), 1)
+
+    n = graph.num_vars
+    nz_mask = np.eye(n, dtype=bool)
+    candidate_pairs = 0
+    for i, j in graph.neighbor_pairs():
+        nz_mask[i, j] = nz_mask[j, i] = True
+        candidate_pairs += 1
+    cov = cov_full * nz_mask
+    cov[np.diag_indices(n)] = np.diag(cov_full) + 1.0 / 3.0
+
+    precision = solve_logdet(cov, nz_mask, lam, max_iter=max_iter)
+
+    approx = FactorGraph()
+    for v in range(n):
+        approx.add_variable(name=graph.name_of(v))
+    for var, value in graph.evidence.items():
+        approx.set_evidence(var, value)
+
+    kept = 0
+    couplings = np.zeros((n, n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            w = precision[i, j]
+            if nz_mask[i, j] and abs(w) > weight_threshold:
+                wid = approx.weights.intern(("J", i, j), initial=w, fixed=True)
+                approx.add_ising_factor(wid, i, j)
+                couplings[i, j] = couplings[j, i] = w
+                kept += 1
+    # Mean-field bias calibration: anchor each variable's marginal.
+    safe_means = np.clip(means, -0.999999, 0.999999)
+    biases = np.arctanh(safe_means) - couplings @ means
+    for v in range(n):
+        if graph.is_evidence(v):
+            continue
+        wid = approx.weights.intern(("h", v), initial=float(biases[v]), fixed=True)
+        approx.add_bias_factor(wid, v)
+
+    return VariationalApproximation(
+        graph=approx,
+        means=means,
+        precision=precision,
+        lam=lam,
+        candidate_pairs=candidate_pairs,
+        kept_pairs=kept,
+    )
+
+
+class VariationalMaterialization:
+    """Owns an evolving approximated graph and answers updated queries."""
+
+    def __init__(self, graph: FactorGraph, lam: float = 0.05, seed=None) -> None:
+        self.base_graph = graph
+        self.lam = lam
+        self.rng = as_generator(seed)
+        self.approximation: VariationalApproximation | None = None
+        self.current: FactorGraph | None = None
+        self.materialization_seconds = 0.0
+        self._splice_counter = 0
+
+    # ------------------------------------------------------------------ #
+
+    def materialize(
+        self, num_samples: int = 300, samples: np.ndarray | None = None
+    ) -> VariationalApproximation:
+        start = time.perf_counter()
+        self.approximation = learn_approximation(
+            self.base_graph,
+            self.lam,
+            num_samples=num_samples,
+            samples=samples,
+            seed=self.rng,
+        )
+        self.current = self.approximation.graph
+        self.materialization_seconds = time.perf_counter() - start
+        return self.approximation
+
+    @property
+    def num_factors(self) -> int:
+        return self.current.num_factors if self.current is not None else 0
+
+    # ------------------------------------------------------------------ #
+
+    def apply_update(self, base_for_delta: FactorGraph, delta: FactorGraphDelta) -> None:
+        """Splice ``delta`` (relative to ``base_for_delta``) into the
+        approximated graph, preserving the update's energy difference."""
+        if self.current is None:
+            raise RuntimeError("materialize() before apply_update()")
+        evaluator = DeltaEvaluator(base_for_delta, delta)
+        updated = self.current.copy()
+
+        for offset in range(delta.num_new_vars):
+            names = delta.new_var_names
+            name = names[offset] if offset < len(names) else None
+            vid = updated.add_variable(name=name)
+            if offset in delta.new_var_evidence:
+                updated.set_evidence(vid, delta.new_var_evidence[offset])
+        for var, value in delta.evidence_updates.items():
+            if value is None:
+                updated.clear_evidence(var)
+            else:
+                updated.set_evidence(var, value)
+
+        for factor in delta.new_factors:
+            key = evaluator.new_weights.key_for(factor.weight_id)
+            value = evaluator.new_weights.value(factor.weight_id)
+            fixed = evaluator.new_weights.is_fixed(factor.weight_id)
+            wid = updated.weights.intern(key, initial=value, fixed=fixed)
+            updated.factors.append(dataclasses.replace(factor, weight_id=wid))
+        for factor in evaluator.removed_factors:
+            self._splice_counter += 1
+            wid = updated.weights.intern(
+                ("spliced-removal", self._splice_counter),
+                initial=-evaluator.old_weights.value(factor.weight_id),
+                fixed=True,
+            )
+            updated.factors.append(dataclasses.replace(factor, weight_id=wid))
+        for factor, shift in evaluator.reweighted:
+            self._splice_counter += 1
+            wid = updated.weights.intern(
+                ("spliced-reweight", self._splice_counter),
+                initial=shift,
+                fixed=True,
+            )
+            updated.factors.append(dataclasses.replace(factor, weight_id=wid))
+
+        updated.validate()
+        self.current = updated
+
+    def infer(self, num_samples: int = 200, burn_in: int = 20) -> np.ndarray:
+        """Marginals of the (updated) approximated graph."""
+        from repro.core.sampling import make_sampler
+
+        if self.current is None:
+            raise RuntimeError("materialize() before infer()")
+        sampler = make_sampler(self.current, seed=self.rng)
+        marginals = sampler.estimate_marginals(num_samples, burn_in=burn_in)
+        for var, value in self.current.evidence.items():
+            marginals[var] = 1.0 if value else 0.0
+        return marginals

@@ -1,0 +1,37 @@
+"""The DeepDive declarative language (paper §2.2–2.4).
+
+A :class:`~repro.datalog.program.Program` bundles:
+
+* a relational schema, with some relations declared as *variable
+  relations* (each visible tuple is a Boolean random variable);
+* *derivation rules* — deterministic datalog rules (candidate mappings,
+  feature extraction with UDFs, supervision rules) maintained
+  incrementally with derivation counts;
+* *inference rules* — weighted rules that ground factors, with weight
+  tying (``weight = w(f)``) and a per-rule choice of the Figure 4
+  semantics.
+
+Programs can be built programmatically or parsed from a ddlog-like text
+format by :func:`~repro.datalog.parser.parse_program`.
+"""
+
+from repro.datalog.ast import (
+    EVIDENCE_SUFFIX,
+    DerivationRule,
+    InferenceRule,
+    WeightSpec,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.program import Program
+from repro.db.query import Atom, Var
+
+__all__ = [
+    "Atom",
+    "DerivationRule",
+    "EVIDENCE_SUFFIX",
+    "InferenceRule",
+    "Program",
+    "Var",
+    "WeightSpec",
+    "parse_program",
+]

@@ -1,0 +1,137 @@
+"""Rule AST for the DeepDive language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.query import Atom, Var
+from repro.graph.semantics import Semantics
+
+#: Evidence relations are named ``<variable relation> + EVIDENCE_SUFFIX``
+#: and carry one extra trailing boolean column (paper §2.2, supervision).
+EVIDENCE_SUFFIX = "_Ev"
+
+
+@dataclass(frozen=True)
+class WeightSpec:
+    """How an inference rule's factor weights are determined.
+
+    * ``tied_on`` — weight is a function of these body variables (the
+      paper's ``weight = phrase(m1, m2, sent)``): every binding value
+      interns a distinct learnable weight keyed by ``(rule, values)``.
+    * ``value`` — initial value of learnable weights, or the constant
+      value when ``fixed=True`` (hard rules, e.g. supervision priors).
+    """
+
+    tied_on: tuple = ()
+    value: float = 0.0
+    fixed: bool = False
+
+    def __post_init__(self):
+        object.__setattr__(self, "tied_on", tuple(self.tied_on))
+
+    def key_for(self, rule_name: str, binding: dict):
+        """The weight-store key for one rule binding."""
+        return (rule_name, tuple(binding[v] for v in self.tied_on))
+
+
+@dataclass(frozen=True)
+class DerivationRule:
+    """A deterministic rule ``head :- body`` with an optional UDF.
+
+    Candidate mappings (R1), feature extractors (FE rules' SQL part) and
+    supervision rules (S1) are all derivation rules.  The optional
+    ``udf`` receives each body binding and yields zero or more dicts of
+    additional variable bindings (e.g. computed feature values); it must
+    be deterministic so that incremental maintenance can re-run it on
+    delta bindings.
+    """
+
+    name: str
+    head: Atom
+    body: tuple
+    udf: object = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "body", tuple(self.body))
+        self._check_safety()
+
+    def _check_safety(self):
+        body_vars = set()
+        for atom in self.body:
+            body_vars.update(atom.variables())
+        head_vars = set(self.head.variables())
+        if self.udf is None and not head_vars <= body_vars:
+            missing = head_vars - body_vars
+            raise ValueError(
+                f"rule {self.name!r} is unsafe: head variables {missing} "
+                "not bound in body (and no UDF to bind them)"
+            )
+
+    def expanded_bindings(self, binding: dict):
+        """Apply the UDF (if any) to one body binding."""
+        if self.udf is None:
+            yield binding
+            return
+        for extra in self.udf(binding):
+            merged = dict(binding)
+            merged.update(extra)
+            yield merged
+
+    def head_tuple(self, binding: dict) -> tuple:
+        return tuple(
+            binding[a.name] if isinstance(a, Var) else a
+            for a in self.head.args
+        )
+
+
+@dataclass(frozen=True)
+class InferenceRule:
+    """A weighted rule grounding factors (paper §2.4).
+
+    ``head`` must target a variable relation.  Body atoms over variable
+    relations become literals of the factor groundings (negated when
+    listed in ``negated_body_preds`` by position); body atoms over plain
+    data relations are constant-folded by the join.
+
+    Grounding groups bindings by ``(head tuple, weight key)``: each group
+    becomes one factor whose grounding count feeds the semantics ``g``.
+    """
+
+    name: str
+    head: Atom
+    body: tuple
+    weight: WeightSpec = field(default_factory=WeightSpec)
+    semantics: object = None  # Semantics or None -> program default
+    negated_positions: frozenset = frozenset()
+
+    def __post_init__(self):
+        object.__setattr__(self, "body", tuple(self.body))
+        object.__setattr__(
+            self, "negated_positions", frozenset(self.negated_positions)
+        )
+        if self.semantics is not None:
+            object.__setattr__(
+                self, "semantics", Semantics.coerce(self.semantics)
+            )
+        body_vars = set()
+        for atom in self.body:
+            body_vars.update(atom.variables())
+        head_vars = set(self.head.variables())
+        if not head_vars <= body_vars:
+            raise ValueError(
+                f"inference rule {self.name!r}: head variables "
+                f"{head_vars - body_vars} not bound in body"
+            )
+        for v in self.weight.tied_on:
+            if v not in body_vars:
+                raise ValueError(
+                    f"inference rule {self.name!r}: weight tied on unbound "
+                    f"variable {v!r}"
+                )
+
+    def head_tuple(self, binding: dict) -> tuple:
+        return tuple(
+            binding[a.name] if isinstance(a, Var) else a
+            for a in self.head.args
+        )

@@ -1,0 +1,260 @@
+"""Parser for a ddlog-like surface syntax.
+
+Grammar (one statement per ``.``-terminated line; ``#`` starts a comment)::
+
+    relation Sentence(sid, text).
+    variable MarriedMentions(m1, m2).
+
+    candidates: MarriedCandidate(m1, m2) :-
+        PersonCandidate(s, m1), PersonCandidate(s, m2).
+
+    fe1: MarriedMentions(m1, m2) :-
+        MarriedCandidate(m1, m2), PhraseFeature(m1, m2, f)
+        weight = tied(f) semantics = ratio.
+
+    i1: MarriedMentions(m2, m1) :- MarriedMentions(m1, m2)
+        weight = 1.5 fixed.
+
+Atoms' bare lowercase identifiers are variables; quoted strings, numbers,
+``true``/``false`` are constants.  A rule whose head is a variable
+relation *and* that carries a ``weight`` clause becomes an inference
+rule; otherwise it is a derivation rule.  UDFs cannot be expressed in
+text — attach them programmatically.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.datalog.ast import WeightSpec
+from repro.datalog.program import Program
+from repro.db.query import Atom, Var
+
+_TOKEN = re.compile(
+    r"""
+    (?P<string>"[^"]*")
+  | (?P<number>-?\d+\.\d+|-?\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<turnstile>:-)
+  | (?P<punct>[(),=:.!])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed program text."""
+
+
+def _tokenize(text: str):
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} at {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        if kind != "ws":
+            tokens.append((kind, match.group()))
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else (None, None)
+
+    def next(self):
+        token = self.peek()
+        if token[0] is None:
+            raise ParseError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def expect(self, value):
+        kind, text = self.next()
+        if text != value:
+            raise ParseError(f"expected {value!r}, got {text!r}")
+        return text
+
+    def at_end(self):
+        return self.pos >= len(self.tokens)
+
+
+def _strip_comments(text: str) -> str:
+    return "\n".join(line.split("#", 1)[0] for line in text.splitlines())
+
+
+def _parse_term(cursor: _Cursor):
+    kind, text = cursor.next()
+    if kind == "string":
+        return text[1:-1]
+    if kind == "number":
+        return float(text) if "." in text else int(text)
+    if kind == "name":
+        if text == "true":
+            return True
+        if text == "false":
+            return False
+        return Var(text)
+    raise ParseError(f"unexpected token {text!r} in atom arguments")
+
+
+def _parse_atom(cursor: _Cursor) -> tuple:
+    """Returns (negated, Atom)."""
+    negated = False
+    if cursor.peek()[1] == "!":
+        cursor.next()
+        negated = True
+    kind, name = cursor.next()
+    if kind != "name":
+        raise ParseError(f"expected relation name, got {name!r}")
+    cursor.expect("(")
+    args = []
+    if cursor.peek()[1] != ")":
+        args.append(_parse_term(cursor))
+        while cursor.peek()[1] == ",":
+            cursor.next()
+            args.append(_parse_term(cursor))
+    cursor.expect(")")
+    return negated, Atom(name, tuple(args))
+
+
+def _parse_weight_clause(cursor: _Cursor) -> WeightSpec:
+    cursor.expect("=")
+    kind, text = cursor.next()
+    if kind == "name" and text == "tied":
+        cursor.expect("(")
+        tied = []
+        if cursor.peek()[1] != ")":
+            kind, var = cursor.next()
+            tied.append(var)
+            while cursor.peek()[1] == ",":
+                cursor.next()
+                kind, var = cursor.next()
+                tied.append(var)
+        cursor.expect(")")
+        initial = 0.0
+        return WeightSpec(tied_on=tuple(tied), value=initial)
+    if kind == "number":
+        value = float(text)
+        fixed = False
+        if cursor.peek()[1] == "fixed":
+            cursor.next()
+            fixed = True
+        return WeightSpec(value=value, fixed=fixed)
+    raise ParseError(f"bad weight clause near {text!r}")
+
+
+def _parse_rule_statement(cursor: _Cursor, program: Program) -> None:
+    # Optional "name:" prefix.
+    name = None
+    if (
+        cursor.peek()[0] == "name"
+        and cursor.pos + 1 < len(cursor.tokens)
+        and cursor.tokens[cursor.pos + 1][1] == ":"
+    ):
+        name = cursor.next()[1]
+        cursor.next()  # the ':'
+    _, head = _parse_atom(cursor)
+    cursor.expect(":-")
+    body = []
+    negated_positions = set()
+    negated, atom = _parse_atom(cursor)
+    if negated:
+        negated_positions.add(0)
+    body.append(atom)
+    while cursor.peek()[1] == ",":
+        cursor.next()
+        negated, atom = _parse_atom(cursor)
+        if negated:
+            negated_positions.add(len(body))
+        body.append(atom)
+
+    weight = None
+    semantics = None
+    while not cursor.at_end():
+        kind, text = cursor.next()
+        if text == "weight":
+            weight = _parse_weight_clause(cursor)
+        elif text == "semantics":
+            cursor.expect("=")
+            semantics = cursor.next()[1]
+        else:
+            raise ParseError(f"unexpected clause {text!r}")
+
+    if name is None:
+        name = f"rule{len(program.derivation_rules) + len(program.inference_rules)}"
+    if weight is not None:
+        program.add_inference_rule(
+            name,
+            head,
+            body,
+            weight=weight,
+            semantics=semantics,
+            negated_positions=negated_positions,
+        )
+    else:
+        if negated_positions:
+            raise ParseError(
+                f"rule {name!r}: negation is only supported in inference rules"
+            )
+        program.add_derivation_rule(name, head, body)
+
+
+def _parse_declaration(cursor: _Cursor, program: Program, is_variable: bool) -> None:
+    kind, name = cursor.next()
+    if kind != "name":
+        raise ParseError(f"expected relation name, got {name!r}")
+    cursor.expect("(")
+    columns = []
+    if cursor.peek()[1] != ")":
+        columns.append(cursor.next()[1])
+        while cursor.peek()[1] == ",":
+            cursor.next()
+            columns.append(cursor.next()[1])
+    cursor.expect(")")
+    if is_variable:
+        program.declare_variable_relation(name, columns)
+    else:
+        program.add_relation(name, columns)
+
+
+def parse_program(text: str, default_semantics="ratio") -> Program:
+    """Parse ``text`` into a :class:`Program`."""
+    program = Program(default_semantics=default_semantics)
+    all_tokens = _tokenize(_strip_comments(text))
+    # Statements are separated by '.' tokens (floats tokenize as single
+    # number tokens, so a decimal point never splits a statement).
+    statements = []
+    current: list = []
+    for token in all_tokens:
+        if token == ("punct", "."):
+            if current:
+                statements.append(current)
+                current = []
+        else:
+            current.append(token)
+    if current:
+        raise ParseError("unterminated statement (missing trailing '.')")
+    for tokens in statements:
+        cursor = _Cursor(tokens)
+        first = cursor.peek()[1]
+        if first == "relation":
+            cursor.next()
+            _parse_declaration(cursor, program, is_variable=False)
+        elif first == "variable":
+            cursor.next()
+            _parse_declaration(cursor, program, is_variable=True)
+        else:
+            _parse_rule_statement(cursor, program)
+        if not cursor.at_end():
+            raise ParseError(
+                f"trailing tokens in statement: {cursor.tokens[cursor.pos:]}"
+            )
+    return program

@@ -1,0 +1,18 @@
+"""In-memory relational store — the paper's Postgres/Greenplum substitute.
+
+All data in DeepDive lives in a relational database (§2.2); grounding is a
+sequence of SQL joins over it.  This package provides:
+
+* :class:`~repro.db.relation.Relation` — tuples with *derivation counts*
+  (the ``count`` column of DRed delta relations, §3.1) and lazily built
+  hash indexes.
+* :class:`~repro.db.database.Database` — a named catalog of relations.
+* :mod:`~repro.db.query` — conjunctive-query evaluation (hash-indexed
+  backtracking joins) over atoms with variables and constants.
+"""
+
+from repro.db.database import Database
+from repro.db.query import evaluate_query
+from repro.db.relation import Relation
+
+__all__ = ["Database", "Relation", "evaluate_query"]

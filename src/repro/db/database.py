@@ -1,0 +1,58 @@
+"""The database: a catalog of named relations."""
+
+from __future__ import annotations
+
+from repro.db.relation import Relation
+
+
+class Database:
+    """Named relations plus convenience bulk operations."""
+
+    def __init__(self) -> None:
+        self._relations: dict = {}
+
+    def create_relation(self, name: str, columns) -> Relation:
+        if name in self._relations:
+            raise ValueError(f"relation {name!r} already exists")
+        relation = Relation(name, columns)
+        self._relations[name] = relation
+        return relation
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"unknown relation {name!r}") from None
+
+    def has_relation(self, name: str) -> bool:
+        return name in self._relations
+
+    def drop_relation(self, name: str) -> None:
+        del self._relations[name]
+
+    def relation_names(self) -> list:
+        return list(self._relations)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def insert_all(self, name: str, rows) -> int:
+        """Bulk insert; returns how many tuples became newly visible."""
+        relation = self.relation(name)
+        return sum(1 for row in rows if relation.insert(row))
+
+    def copy(self) -> "Database":
+        """Independent copy of every relation (indexes rebuilt lazily)."""
+        clone = Database()
+        for name, relation in self._relations.items():
+            fresh = clone.create_relation(name, relation.columns)
+            for row, count in relation.counts().items():
+                fresh.insert(row, count)
+        return clone
+
+    def stats(self) -> dict:
+        return {name: len(rel) for name, rel in self._relations.items()}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{n}:{len(r)}" for n, r in self._relations.items())
+        return f"Database({parts})"

@@ -1,0 +1,155 @@
+"""Conjunctive-query evaluation: the grounding phase's join engine.
+
+Grounding in DeepDive is a set of SQL queries (§2.5); here those queries
+are conjunctions of atoms over relations.  Evaluation is a backtracking
+join: atoms are processed left to right, each one either probing a lazily
+built hash index (when bound by the current partial binding) or scanning.
+
+For incremental maintenance the evaluator accepts per-atom *source
+overrides*: an atom can draw its rows from an explicit signed list (a
+delta relation) instead of the stored relation, and the signs multiply
+through the join — exactly what the counting algorithm's
+"Δ(A₁ ⋈ … ⋈ A_k) = Σ_S ⋈Δ/⋈old" expansion needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import Database
+
+
+@dataclass(frozen=True)
+class Var:
+    """A query variable (anything else in an atom is a constant)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``pred(args…)`` — args mix :class:`Var` and Python constants."""
+
+    pred: str
+    args: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "args", tuple(self.args))
+
+    def variables(self):
+        return [a.name for a in self.args if isinstance(a, Var)]
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.pred}({inner})"
+
+
+def _match_row(atom: Atom, row, binding: dict):
+    """Extend ``binding`` with ``row`` if consistent, else ``None``."""
+    merged = binding
+    copied = False
+    for arg, value in zip(atom.args, row):
+        if isinstance(arg, Var):
+            if arg.name in merged:
+                if merged[arg.name] != value:
+                    return None
+            else:
+                if not copied:
+                    merged = dict(merged)
+                    copied = True
+                merged[arg.name] = value
+        elif arg != value:
+            return None
+    return merged
+
+
+def _candidate_rows(db: Database, atom: Atom, binding: dict, source):
+    """Rows that could match ``atom`` under ``binding``."""
+    if source is not None:
+        return source  # explicit (row, sign) list — filtered by _match_row
+    bound_positions = []
+    bound_values = []
+    for pos, arg in enumerate(atom.args):
+        if isinstance(arg, Var):
+            if arg.name in binding:
+                bound_positions.append(pos)
+                bound_values.append(binding[arg.name])
+        else:
+            bound_positions.append(pos)
+            bound_values.append(arg)
+    rows = db.relation(atom.pred).lookup(bound_positions, bound_values)
+    return [(row, 1) for row in rows]
+
+
+def evaluate_query(
+    db: Database,
+    atoms,
+    initial_binding: dict | None = None,
+    sources: dict | None = None,
+):
+    """Yield ``(binding, sign)`` for every derivation of the conjunction.
+
+    Parameters
+    ----------
+    atoms:
+        Sequence of :class:`Atom`.
+    initial_binding:
+        Pre-bound variables (e.g. from an outer context).
+    sources:
+        Optional ``{atom index: [(row, sign), ...]}`` overrides.  Atoms
+        with an override are evaluated *first* (they are typically small
+        delta relations), and their signs multiply into the result.
+    """
+    atoms = list(atoms)
+
+    def bound_score(idx: int, binding: dict) -> tuple:
+        """Join-order heuristic: delta sources first, then the atom with
+        the most bound argument positions (constants count as bound)."""
+        atom = atoms[idx]
+        bound = sum(
+            1
+            for arg in atom.args
+            if not isinstance(arg, Var) or arg.name in binding
+        )
+        is_source = 1 if sources and idx in sources else 0
+        return (is_source, bound, -idx)
+
+    def recurse(remaining: tuple, binding: dict, sign: int):
+        if not remaining:
+            yield binding, sign
+            return
+        idx = max(remaining, key=lambda i: bound_score(i, binding))
+        rest = tuple(i for i in remaining if i != idx)
+        atom = atoms[idx]
+        source = sources.get(idx) if sources else None
+        for row, row_sign in _candidate_rows(db, atom, binding, source):
+            extended = _match_row(atom, row, binding)
+            if extended is not None:
+                yield from recurse(rest, extended, sign * row_sign)
+
+    yield from recurse(
+        tuple(range(len(atoms))), dict(initial_binding or {}), 1
+    )
+
+
+def evaluate_bindings(db: Database, atoms, initial_binding=None):
+    """Convenience: yield unsigned bindings of a plain (non-delta) query."""
+    for binding, _sign in evaluate_query(db, atoms, initial_binding):
+        yield binding
+
+
+def binding_counts(db: Database, atoms, head_vars, sources=None) -> dict:
+    """Aggregate signed derivation counts of the projection onto
+    ``head_vars``.
+
+    Returns ``{projected tuple: signed count}`` — the delta (or full
+    content) of a derived relation defined by ``head :- atoms``.
+    """
+    counts: dict = {}
+    for binding, sign in evaluate_query(db, atoms, sources=sources):
+        key = tuple(binding[v] for v in head_vars)
+        counts[key] = counts.get(key, 0) + sign
+    return {k: c for k, c in counts.items() if c != 0}

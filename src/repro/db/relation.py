@@ -1,0 +1,155 @@
+"""A relation with derivation counts and lazy hash indexes.
+
+Derived relations maintained by the counting algorithm (DRed's delta
+relations, §3.1) need, for each tuple ``t``, the number of derivations
+``t.count``; base relations simply have count 1 per inserted tuple.  A
+tuple is *visible* while its count is positive.
+
+Point lookups during join evaluation use hash indexes built lazily per
+bound-column combination and maintained on every insert/delete.
+"""
+
+from __future__ import annotations
+
+
+class Relation:
+    """A named multiset of fixed-arity tuples with derivation counts."""
+
+    def __init__(self, name: str, columns) -> None:
+        self.name = name
+        self.columns = tuple(columns)
+        self.arity = len(self.columns)
+        self._counts: dict = {}
+        self._indexes: dict = {}  # positions tuple -> {key tuple: set of rows}
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+
+    def _check(self, row) -> tuple:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(
+                f"{self.name}: expected arity {self.arity}, got {len(row)}: {row!r}"
+            )
+        return row
+
+    def insert(self, row, count: int = 1) -> bool:
+        """Add ``count`` derivations of ``row``.
+
+        Returns True when the tuple becomes newly visible.
+        """
+        if count <= 0:
+            raise ValueError("insert count must be positive")
+        row = self._check(row)
+        old = self._counts.get(row, 0)
+        self._counts[row] = old + count
+        if old == 0:
+            self._index_add(row)
+            return True
+        return False
+
+    def delete(self, row, count: int = 1) -> bool:
+        """Remove ``count`` derivations of ``row``.
+
+        Returns True when the tuple stops being visible.  Deleting more
+        derivations than exist raises (the counting algorithm never does).
+        """
+        if count <= 0:
+            raise ValueError("delete count must be positive")
+        row = self._check(row)
+        old = self._counts.get(row, 0)
+        if old < count:
+            raise KeyError(
+                f"{self.name}: cannot delete {count} derivations of {row!r} "
+                f"(has {old})"
+            )
+        new = old - count
+        if new == 0:
+            del self._counts[row]
+            self._index_remove(row)
+            return True
+        self._counts[row] = new
+        return False
+
+    def apply_delta(self, delta: dict) -> tuple:
+        """Apply a ``{row: signed count}`` delta.
+
+        Returns ``(appeared, disappeared)`` — lists of tuples that became
+        visible / stopped being visible.
+        """
+        appeared, disappeared = [], []
+        for row, change in delta.items():
+            if change > 0:
+                if self.insert(row, change):
+                    appeared.append(tuple(row))
+            elif change < 0:
+                if self.delete(row, -change):
+                    disappeared.append(tuple(row))
+        return appeared, disappeared
+
+    def clear(self) -> None:
+        self._counts.clear()
+        self._indexes.clear()
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, row) -> bool:
+        return tuple(row) in self._counts
+
+    def __iter__(self):
+        return iter(self._counts)
+
+    def count(self, row) -> int:
+        return self._counts.get(tuple(row), 0)
+
+    def rows(self) -> list:
+        return list(self._counts)
+
+    def counts(self) -> dict:
+        """A copy of the full ``{row: count}`` map."""
+        return dict(self._counts)
+
+    def lookup(self, positions, values) -> list:
+        """Rows whose ``positions`` columns equal ``values``.
+
+        Builds (and thereafter maintains) a hash index on ``positions``.
+        An empty ``positions`` returns all rows.
+        """
+        positions = tuple(positions)
+        if not positions:
+            return self.rows()
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._counts:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, set()).add(row)
+            self._indexes[positions] = index
+        return list(index.get(tuple(values), ()))
+
+    # ------------------------------------------------------------------ #
+    # Index maintenance
+    # ------------------------------------------------------------------ #
+
+    def _index_add(self, row) -> None:
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, set()).add(row)
+
+    def _index_remove(self, row) -> None:
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[key]
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name}{self.columns}, rows={len(self)})"

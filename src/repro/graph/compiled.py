@@ -1,0 +1,200 @@
+"""Incidence-compiled factor graph for fast Gibbs conditionals.
+
+The dominant cost of Gibbs sampling is fetching, for each variable, the
+factors it participates in (paper §3.2.3).  :class:`CompiledFactorGraph`
+pre-indexes those incidences once; :class:`GibbsCache` maintains, per
+sampler state, the satisfied-grounding counts so that a single-variable
+conditional costs O(degree) instead of O(|F|).
+
+Rule factors where a variable appears both as head and in the body, or
+twice within one grounding, are handled on a brute-force "slow path"
+(they are rare — none of the paper's rule templates produce them).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.factor_graph import BiasFactor, FactorGraph, IsingFactor, RuleFactor
+from repro.graph.semantics import g_value
+
+
+class CompiledFactorGraph:
+    """Immutable incidence index over a :class:`FactorGraph`.
+
+    The compiled view snapshots the *structure* only; weight values are
+    read live from ``graph.weights`` so learning can update them without
+    recompiling.
+    """
+
+    def __init__(self, graph: FactorGraph) -> None:
+        graph.validate()
+        self.graph = graph
+        self.num_vars = graph.num_vars
+
+        # Per-variable incidence lists.
+        self.bias_of = [[] for _ in range(self.num_vars)]       # [weight_id]
+        self.ising_of = [[] for _ in range(self.num_vars)]      # [(other, wid)]
+        self.head_of = [[] for _ in range(self.num_vars)]       # [factor idx]
+        self.body_of = [[] for _ in range(self.num_vars)]       # [(fi, gi, pos)]
+        self.slow_of = [[] for _ in range(self.num_vars)]       # [factor idx]
+
+        self.rule_factors = {}       # factor idx -> RuleFactor (fast path)
+        self.slow_factors = {}       # factor idx -> RuleFactor (slow path)
+
+        for fi, factor in enumerate(graph.factors):
+            if isinstance(factor, BiasFactor):
+                self.bias_of[factor.var].append(factor.weight_id)
+            elif isinstance(factor, IsingFactor):
+                self.ising_of[factor.i].append((factor.j, factor.weight_id))
+                self.ising_of[factor.j].append((factor.i, factor.weight_id))
+            elif isinstance(factor, RuleFactor):
+                self._compile_rule(fi, factor)
+            else:
+                raise TypeError(f"unknown factor type {type(factor)!r}")
+
+        self.evidence_mask = graph.evidence_mask()
+        self.free_vars = np.asarray(graph.free_variables(), dtype=np.int64)
+
+    def _compile_rule(self, fi: int, factor: RuleFactor) -> None:
+        body_vars = set()
+        duplicated = False
+        for grounding in factor.groundings:
+            per_grounding = [var for var, _ in grounding]
+            if len(per_grounding) != len(set(per_grounding)):
+                duplicated = True
+            body_vars.update(per_grounding)
+        if duplicated or factor.head in body_vars:
+            self.slow_factors[fi] = factor
+            for var in factor.variables():
+                self.slow_of[var].append(fi)
+            return
+        self.rule_factors[fi] = factor
+        self.head_of[factor.head].append(fi)
+        for gi, grounding in enumerate(factor.groundings):
+            for var, pos in grounding:
+                self.body_of[var].append((fi, gi, pos))
+
+    def degree(self, var: int) -> int:
+        """Number of factor incidences of ``var`` (proxy for Gibbs cost)."""
+        return (
+            len(self.bias_of[var])
+            + len(self.ising_of[var])
+            + len(self.head_of[var])
+            + len(self.body_of[var])
+            + len(self.slow_of[var])
+        )
+
+
+class GibbsCache:
+    """Mutable satisfied-grounding caches tied to one assignment.
+
+    ``unsat[fi][gi]`` is the count of unsatisfied literals of grounding
+    ``gi`` of rule factor ``fi``; ``nsat[fi]`` the count of fully
+    satisfied groundings.  Both are kept in sync with the assignment via
+    :meth:`commit_flip`.
+    """
+
+    def __init__(self, compiled: CompiledFactorGraph, assignment: np.ndarray) -> None:
+        self.compiled = compiled
+        self.unsat = {}
+        self.nsat = {}
+        for fi, factor in compiled.rule_factors.items():
+            counts = []
+            satisfied = 0
+            for grounding in factor.groundings:
+                unsat = sum(
+                    1 for var, pos in grounding if bool(assignment[var]) != pos
+                )
+                counts.append(unsat)
+                if unsat == 0:
+                    satisfied += 1
+            self.unsat[fi] = counts
+            self.nsat[fi] = satisfied
+
+    # ------------------------------------------------------------------ #
+
+    def delta_energy(self, var: int, assignment: np.ndarray) -> float:
+        """``E(x | x_var=1) − E(x | x_var=0)`` for the Gibbs conditional."""
+        compiled = self.compiled
+        weights = compiled.graph.weights
+        current = bool(assignment[var])
+        delta = 0.0
+
+        for wid in compiled.bias_of[var]:
+            delta += 2.0 * weights.value(wid)
+
+        for other, wid in compiled.ising_of[var]:
+            s_other = 1.0 if assignment[other] else -1.0
+            delta += 2.0 * weights.value(wid) * s_other
+
+        for fi in compiled.head_of[var]:
+            factor = compiled.rule_factors[fi]
+            g = g_value(factor.semantics, self.nsat[fi])
+            delta += 2.0 * weights.value(factor.weight_id) * g
+
+        # Body incidences, grouped per factor: how many of this factor's
+        # v-groundings would be satisfied with v=1 vs v=0.
+        per_factor: dict = {}
+        for fi, gi, pos in compiled.body_of[var]:
+            unsat_others = self.unsat[fi][gi] - (0 if current == pos else 1)
+            sat_if_true = pos and unsat_others == 0
+            sat_if_false = (not pos) and unsat_others == 0
+            sat_now = self.unsat[fi][gi] == 0
+            up, down, now = per_factor.get(fi, (0, 0, 0))
+            per_factor[fi] = (
+                up + (1 if sat_if_true else 0),
+                down + (1 if sat_if_false else 0),
+                now + (1 if sat_now else 0),
+            )
+        for fi, (up, down, now) in per_factor.items():
+            factor = compiled.rule_factors[fi]
+            base = self.nsat[fi] - now
+            sign = 1.0 if assignment[factor.head] else -1.0
+            g1 = g_value(factor.semantics, base + up)
+            g0 = g_value(factor.semantics, base + down)
+            delta += weights.value(factor.weight_id) * sign * (g1 - g0)
+
+        if compiled.slow_of[var]:
+            saved = assignment[var]
+            assignment[var] = True
+            e1 = sum(
+                compiled.slow_factors[fi].energy(assignment, weights)
+                for fi in compiled.slow_of[var]
+            )
+            assignment[var] = False
+            e0 = sum(
+                compiled.slow_factors[fi].energy(assignment, weights)
+                for fi in compiled.slow_of[var]
+            )
+            assignment[var] = saved
+            delta += e1 - e0
+
+        return delta
+
+    def commit_flip(self, var: int, new_value: bool, assignment: np.ndarray) -> None:
+        """Set ``assignment[var] := new_value`` and update the caches.
+
+        ``assignment[var]`` must still hold the *old* value on entry; this
+        method writes the new one.
+        """
+        old_value = bool(assignment[var])
+        if old_value == bool(new_value):
+            return
+        assignment[var] = bool(new_value)
+        for fi, gi, pos in self.compiled.body_of[var]:
+            was_satisfied = old_value == pos
+            if was_satisfied:
+                if self.unsat[fi][gi] == 0:
+                    self.nsat[fi] -= 1
+                self.unsat[fi][gi] += 1
+            else:
+                self.unsat[fi][gi] -= 1
+                if self.unsat[fi][gi] == 0:
+                    self.nsat[fi] += 1
+
+    def check_consistency(self, assignment: np.ndarray) -> None:
+        """Recompute all caches from scratch and compare (test helper)."""
+        fresh = GibbsCache(self.compiled, assignment)
+        if fresh.unsat != self.unsat or fresh.nsat != self.nsat:
+            raise AssertionError("GibbsCache diverged from assignment")

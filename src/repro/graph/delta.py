@@ -1,0 +1,216 @@
+"""The ``(∆V, ∆F)`` object connecting grounding to incremental inference.
+
+Incremental grounding (paper §3.1) emits the *changes* to the factor graph:
+new variables, new factors, removed factors, evidence flips, and weight
+changes.  Incremental inference (§3.2) consumes this object: the sampling
+approach evaluates its Metropolis–Hastings acceptance test using **only**
+the delta, and the variational approach splices the delta into the
+approximated graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.graph.factor_graph import FactorGraph
+
+
+@dataclass
+class FactorGraphDelta:
+    """A change set against a base :class:`FactorGraph`.
+
+    Attributes
+    ----------
+    num_new_vars:
+        Count of variables appended after the base graph's variables; the
+        new ids are ``base.num_vars .. base.num_vars + num_new_vars - 1``.
+    new_var_names:
+        Optional names for the new variables (same length or empty).
+    new_var_evidence:
+        Evidence clamps for *new* variables, ``{new var id: value}``.
+    new_factors:
+        Factor objects (Rule/Ising/Bias) that may reference both old and
+        new variable ids.  Weight ids must be valid after
+        ``new_weight_entries`` are appended.
+    removed_factor_ids:
+        Indexes into the base graph's factor list to drop.
+    evidence_updates:
+        ``{existing var id: True/False/None}`` — ``None`` clears evidence
+        (a label retracted), a bool sets or flips it (new training data).
+    new_weight_entries:
+        ``(key, initial value, fixed)`` triples appended to the weight
+        store, in order; their ids follow the base store's ids.  Non-empty
+        entries mean the update *introduces new features* (optimizer rule 3).
+    changed_weight_values:
+        ``{existing weight id: new value}`` — e.g. re-learned weights.
+    """
+
+    num_new_vars: int = 0
+    new_var_names: list = field(default_factory=list)
+    new_var_evidence: dict = field(default_factory=dict)
+    new_factors: list = field(default_factory=list)
+    removed_factor_ids: set = field(default_factory=set)
+    evidence_updates: dict = field(default_factory=dict)
+    new_weight_entries: list = field(default_factory=list)
+    changed_weight_values: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Classification used by the rule-based optimizer (§3.3)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_empty(self) -> bool:
+        return not (
+            self.num_new_vars
+            or self.new_factors
+            or self.removed_factor_ids
+            or self.evidence_updates
+            or self.new_var_evidence
+            or self.new_weight_entries
+            or self.changed_weight_values
+        )
+
+    @property
+    def changes_structure(self) -> bool:
+        """True when the variable/factor *structure* of the graph changes."""
+        return bool(self.num_new_vars or self.new_factors or self.removed_factor_ids)
+
+    @property
+    def changes_evidence(self) -> bool:
+        """True when training labels are added, removed, or flipped."""
+        return bool(self.evidence_updates)
+
+    @property
+    def adds_features(self) -> bool:
+        """True when new (tied) weights — i.e. new features — appear."""
+        return bool(self.new_weight_entries)
+
+    # ------------------------------------------------------------------ #
+    # Application
+    # ------------------------------------------------------------------ #
+
+    def apply(self, base: FactorGraph) -> FactorGraph:
+        """Materialise the updated graph ``base ⊕ delta`` (base untouched)."""
+        updated = base.copy()
+        for key, initial, fixed in self.new_weight_entries:
+            updated.weights.intern(key, initial=initial, fixed=fixed)
+        for wid, value in self.changed_weight_values.items():
+            updated.weights.set_value(wid, value)
+
+        names = list(self.new_var_names)
+        for offset in range(self.num_new_vars):
+            name = names[offset] if offset < len(names) else None
+            vid = updated.add_variable(name=name)
+            if offset in self.new_var_evidence:
+                updated.set_evidence(vid, self.new_var_evidence[offset])
+
+        if self.removed_factor_ids:
+            updated.factors = [
+                f
+                for fi, f in enumerate(updated.factors)
+                if fi not in self.removed_factor_ids
+            ]
+        for factor in self.new_factors:
+            updated.factors.append(factor)
+
+        for var, value in self.evidence_updates.items():
+            if value is None:
+                updated.clear_evidence(var)
+            else:
+                updated.set_evidence(var, value)
+
+        updated.validate()
+        return updated
+
+    def index_mapping(self, num_base_factors: int) -> dict:
+        """Old factor index → new index after applying this delta."""
+        mapping = {}
+        new_index = 0
+        for old_index in range(num_base_factors):
+            if old_index in self.removed_factor_ids:
+                continue
+            mapping[old_index] = new_index
+            new_index += 1
+        return mapping
+
+    def summary(self) -> str:
+        return (
+            f"Delta(+vars={self.num_new_vars}, +factors={len(self.new_factors)}, "
+            f"-factors={len(self.removed_factor_ids)}, "
+            f"evidence={len(self.evidence_updates)}, "
+            f"+weights={len(self.new_weight_entries)}, "
+            f"~weights={len(self.changed_weight_values)})"
+        )
+
+
+def compose_deltas(
+    base: FactorGraph, first: FactorGraphDelta, second: FactorGraphDelta
+) -> FactorGraphDelta:
+    """Compose two successive deltas into one against ``base``.
+
+    ``first`` is a delta against ``base``; ``second`` is a delta against
+    ``base ⊕ first``.  The result satisfies
+    ``base ⊕ composed ≡ (base ⊕ first) ⊕ second``.  The incremental
+    engine uses this to keep a single cumulative delta against the
+    *materialized* graph across many development iterations.
+    """
+    composed = FactorGraphDelta()
+
+    # --- Variables: first's then second's, second's offsets shifted.
+    composed.num_new_vars = first.num_new_vars + second.num_new_vars
+    names = list(first.new_var_names)
+    names += [None] * (first.num_new_vars - len(names))
+    second_names = list(second.new_var_names)
+    second_names += [None] * (second.num_new_vars - len(second_names))
+    composed.new_var_names = names + second_names
+    composed.new_var_evidence = dict(first.new_var_evidence)
+    for offset, value in second.new_var_evidence.items():
+        composed.new_var_evidence[first.num_new_vars + offset] = value
+
+    # --- Evidence on pre-existing variables.  Updates from ``second``
+    # that target variables created by ``first`` become new-var evidence.
+    composed.evidence_updates = dict(first.evidence_updates)
+    for var, value in second.evidence_updates.items():
+        if var >= base.num_vars:
+            offset = var - base.num_vars
+            if value is None:
+                composed.new_var_evidence.pop(offset, None)
+            else:
+                composed.new_var_evidence[offset] = value
+        else:
+            composed.evidence_updates[var] = value
+
+    # --- Weights.
+    composed.new_weight_entries = list(first.new_weight_entries) + list(
+        second.new_weight_entries
+    )
+    composed.changed_weight_values = dict(first.changed_weight_values)
+    base_weights = len(base.weights)
+    for wid, value in second.changed_weight_values.items():
+        if wid >= base_weights:
+            # Value change to a weight ``first`` introduced: fold it into
+            # that entry's initial value.
+            entry_index = wid - base_weights
+            key, _initial, fixed = composed.new_weight_entries[entry_index]
+            composed.new_weight_entries[entry_index] = (key, value, fixed)
+        else:
+            composed.changed_weight_values[wid] = value
+
+    # --- Factors.  ``second.removed_factor_ids`` index the intermediate
+    # graph: survivors of base first, then first's new factors.
+    mapping = first.index_mapping(base.num_factors)
+    inverse = {new: old for old, new in mapping.items()}
+    survivors = len(mapping)
+    composed.removed_factor_ids = set(first.removed_factor_ids)
+    dropped_first_new: set = set()
+    for removed in second.removed_factor_ids:
+        if removed < survivors:
+            composed.removed_factor_ids.add(inverse[removed])
+        else:
+            dropped_first_new.add(removed - survivors)
+    composed.new_factors = [
+        f
+        for i, f in enumerate(first.new_factors)
+        if i not in dropped_first_new
+    ] + list(second.new_factors)
+    return composed

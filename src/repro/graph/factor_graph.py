@@ -1,0 +1,394 @@
+"""Mutable factor-graph model.
+
+Variables are Boolean random variables (one per tuple in the user schema,
+paper §2.4).  Factors come in three kinds:
+
+* :class:`RuleFactor` — the paper's general inference-rule factor: a head
+  variable, a bag of body *groundings* (each a conjunction of signed
+  literals over variables), a tied weight, and a semantics ``g``.  Its
+  energy is ``w · sign(head, I) · g(#satisfied groundings)`` (Eq. 1).
+* :class:`IsingFactor` — a pairwise binary potential ``w · σ_i · σ_j`` with
+  ``σ = 2x − 1``.  These are emitted by the variational approximation
+  (Algorithm 1 outputs pairwise-only graphs) and by synthetic workloads.
+* :class:`BiasFactor` — a unary potential ``w · σ_v``; the per-tuple prior
+  weight ``w_a : R(a)`` of Appendix A.
+
+Weights are stored once in a :class:`WeightStore` and referenced by id so
+that *weight tying* (§2.3) works: factors grounded from the same rule with
+the same feature key share a single learnable parameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.semantics import Semantics, g_value
+
+# A literal is (variable id, required truth value); a grounding is a
+# conjunction of literals.  An empty grounding is vacuously satisfied
+# (it arises when all body atoms of a rule ground to known facts).
+Literal = "tuple[int, bool]"
+Grounding = "tuple[Literal, ...]"
+
+
+@dataclass(frozen=True)
+class RuleFactor:
+    """General inference-rule factor (paper Eq. 1)."""
+
+    weight_id: int
+    head: int
+    groundings: tuple
+    semantics: Semantics
+
+    def variables(self):
+        """All distinct variable ids this factor touches."""
+        seen = {self.head}
+        for grounding in self.groundings:
+            for var, _ in grounding:
+                seen.add(var)
+        return seen
+
+    def unit_energy(self, assignment) -> float:
+        """``sign(head) · g(n)`` — the energy per unit of weight."""
+        sign = 1.0 if assignment[self.head] else -1.0
+        n = sum(
+            1
+            for grounding in self.groundings
+            if all(bool(assignment[var]) == pos for var, pos in grounding)
+        )
+        return sign * g_value(self.semantics, n)
+
+    def energy(self, assignment, weights: "WeightStore") -> float:
+        """``w · sign(head) · g(n)`` under ``assignment`` (bool array)."""
+        return weights.value(self.weight_id) * self.unit_energy(assignment)
+
+
+@dataclass(frozen=True)
+class IsingFactor:
+    """Pairwise spin-coupling potential ``w · σ_i · σ_j``."""
+
+    weight_id: int
+    i: int
+    j: int
+
+    def variables(self):
+        return {self.i, self.j}
+
+    def unit_energy(self, assignment) -> float:
+        si = 1.0 if assignment[self.i] else -1.0
+        sj = 1.0 if assignment[self.j] else -1.0
+        return si * sj
+
+    def energy(self, assignment, weights: "WeightStore") -> float:
+        return weights.value(self.weight_id) * self.unit_energy(assignment)
+
+
+@dataclass(frozen=True)
+class BiasFactor:
+    """Unary potential ``w · σ_v``."""
+
+    weight_id: int
+    var: int
+
+    def variables(self):
+        return {self.var}
+
+    def unit_energy(self, assignment) -> float:
+        return 1.0 if assignment[self.var] else -1.0
+
+    def energy(self, assignment, weights: "WeightStore") -> float:
+        return weights.value(self.weight_id) * self.unit_energy(assignment)
+
+
+class WeightStore:
+    """Interned, tied weights.
+
+    Each weight has a hashable *key* (typically ``(rule name, feature)``),
+    a float value, and a ``fixed`` flag marking weights excluded from
+    learning (e.g. hard supervision-rule weights).
+    """
+
+    def __init__(self) -> None:
+        self._values: list = []
+        self._fixed: list = []
+        self._keys: list = []
+        self._by_key: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def intern(self, key, initial: float = 0.0, fixed: bool = False) -> int:
+        """Return the id for ``key``, creating it with ``initial`` if new.
+
+        Re-interning an existing key returns the existing id and leaves the
+        stored value untouched (this is what makes weight tying work across
+        rule groundings).
+        """
+        existing = self._by_key.get(key)
+        if existing is not None:
+            return existing
+        wid = len(self._values)
+        self._values.append(float(initial))
+        self._fixed.append(bool(fixed))
+        self._keys.append(key)
+        self._by_key[key] = wid
+        return wid
+
+    def id_for(self, key):
+        """The id of ``key`` or ``None`` if it has not been interned."""
+        return self._by_key.get(key)
+
+    def key_for(self, weight_id: int):
+        return self._keys[weight_id]
+
+    def value(self, weight_id: int) -> float:
+        return self._values[weight_id]
+
+    def set_value(self, weight_id: int, value: float) -> None:
+        self._values[weight_id] = float(value)
+
+    def is_fixed(self, weight_id: int) -> bool:
+        return self._fixed[weight_id]
+
+    def values_array(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def set_values_array(self, values) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.shape != (len(self._values),):
+            raise ValueError(
+                f"expected {len(self._values)} weights, got shape {values.shape}"
+            )
+        self._values = [float(v) for v in values]
+
+    def learnable_ids(self) -> list:
+        return [i for i, fx in enumerate(self._fixed) if not fx]
+
+    def copy(self) -> "WeightStore":
+        clone = WeightStore()
+        clone._values = list(self._values)
+        clone._fixed = list(self._fixed)
+        clone._keys = list(self._keys)
+        clone._by_key = dict(self._by_key)
+        return clone
+
+    def items(self):
+        """Iterate ``(key, value)`` pairs in id order."""
+        return zip(self._keys, self._values)
+
+
+class FactorGraph:
+    """A factor graph ``(V, F, w)`` over Boolean variables.
+
+    Evidence variables (``E = P ∪ N`` in §2.4) are clamped to fixed values;
+    query variables are free.  The graph owns a :class:`WeightStore`.
+    """
+
+    def __init__(self, weights: WeightStore | None = None) -> None:
+        self.weights = weights if weights is not None else WeightStore()
+        self.factors: list = []
+        self._num_vars = 0
+        self._names: list = []
+        self._evidence: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # Variables
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vars(self) -> int:
+        return self._num_vars
+
+    @property
+    def num_factors(self) -> int:
+        return len(self.factors)
+
+    def add_variable(self, name=None, evidence=None) -> int:
+        """Add one variable; returns its id.
+
+        ``evidence`` may be ``True``/``False`` to clamp the variable.
+        """
+        vid = self._num_vars
+        self._num_vars += 1
+        self._names.append(name)
+        if evidence is not None:
+            self._evidence[vid] = bool(evidence)
+        return vid
+
+    def add_variables(self, count: int) -> range:
+        """Add ``count`` anonymous free variables; returns their id range."""
+        start = self._num_vars
+        self._num_vars += count
+        self._names.extend([None] * count)
+        return range(start, self._num_vars)
+
+    def name_of(self, var: int):
+        return self._names[var]
+
+    def set_evidence(self, var: int, value: bool) -> None:
+        self._check_var(var)
+        self._evidence[var] = bool(value)
+
+    def clear_evidence(self, var: int) -> None:
+        self._evidence.pop(var, None)
+
+    def is_evidence(self, var: int) -> bool:
+        return var in self._evidence
+
+    def evidence_value(self, var: int):
+        """The clamped value of ``var`` or ``None`` if it is free."""
+        return self._evidence.get(var)
+
+    @property
+    def evidence(self) -> dict:
+        """Read-only view of the evidence map ``{var: value}``."""
+        return dict(self._evidence)
+
+    def free_variables(self) -> list:
+        return [v for v in range(self._num_vars) if v not in self._evidence]
+
+    def evidence_mask(self) -> np.ndarray:
+        mask = np.zeros(self._num_vars, dtype=bool)
+        for var in self._evidence:
+            mask[var] = True
+        return mask
+
+    def initial_assignment(self, rng=None) -> np.ndarray:
+        """A world consistent with evidence; free variables random or False."""
+        x = np.zeros(self._num_vars, dtype=bool)
+        if rng is not None:
+            x = rng.random(self._num_vars) < 0.5
+        for var, value in self._evidence.items():
+            x[var] = value
+        return x
+
+    # ------------------------------------------------------------------ #
+    # Factors
+    # ------------------------------------------------------------------ #
+
+    def add_rule_factor(self, weight_id, head, groundings, semantics) -> int:
+        """Add a rule factor; returns its index in ``self.factors``.
+
+        ``groundings`` is an iterable of groundings, each an iterable of
+        ``(var, positive)`` literals.
+        """
+        semantics = Semantics.coerce(semantics)
+        self._check_var(head)
+        frozen = []
+        for grounding in groundings:
+            lits = tuple((int(v), bool(p)) for v, p in grounding)
+            for var, _ in lits:
+                self._check_var(var)
+            frozen.append(lits)
+        factor = RuleFactor(
+            weight_id=int(weight_id),
+            head=int(head),
+            groundings=tuple(frozen),
+            semantics=semantics,
+        )
+        self._check_weight(factor.weight_id)
+        self.factors.append(factor)
+        return len(self.factors) - 1
+
+    def add_ising_factor(self, weight_id, i, j) -> int:
+        self._check_var(i)
+        self._check_var(j)
+        if i == j:
+            raise ValueError("Ising factor endpoints must differ")
+        self._check_weight(weight_id)
+        self.factors.append(IsingFactor(int(weight_id), int(i), int(j)))
+        return len(self.factors) - 1
+
+    def add_bias_factor(self, weight_id, var) -> int:
+        self._check_var(var)
+        self._check_weight(weight_id)
+        self.factors.append(BiasFactor(int(weight_id), int(var)))
+        return len(self.factors) - 1
+
+    # ------------------------------------------------------------------ #
+    # Energy / probability
+    # ------------------------------------------------------------------ #
+
+    def energy(self, assignment) -> float:
+        """Total log-weight ``W(F, I)`` of a world (paper §2.5)."""
+        assignment = np.asarray(assignment, dtype=bool)
+        if assignment.shape != (self._num_vars,):
+            raise ValueError(
+                f"assignment must have shape ({self._num_vars},), "
+                f"got {assignment.shape}"
+            )
+        return sum(f.energy(assignment, self.weights) for f in self.factors)
+
+    # ------------------------------------------------------------------ #
+    # Structure queries
+    # ------------------------------------------------------------------ #
+
+    def adjacency(self) -> list:
+        """For each variable, the set of factor indexes touching it."""
+        adj = [set() for _ in range(self._num_vars)]
+        for fi, factor in enumerate(self.factors):
+            for var in factor.variables():
+                adj[var].add(fi)
+        return adj
+
+    def neighbor_pairs(self):
+        """Yield each unordered variable pair co-occurring in some factor.
+
+        This is the ``NZ`` set of Algorithm 1 (variational materialization).
+        """
+        seen = set()
+        for factor in self.factors:
+            variables = sorted(factor.variables())
+            for a_pos, a in enumerate(variables):
+                for b in variables[a_pos + 1 :]:
+                    if (a, b) not in seen:
+                        seen.add((a, b))
+                        yield a, b
+
+    def copy(self, share_weights: bool = False) -> "FactorGraph":
+        """Deep-enough copy: immutable factors shared, weights copied.
+
+        With ``share_weights=True`` the clone references the *same*
+        :class:`WeightStore`, so learning on one graph is visible to the
+        other (used for the conditioned/free chain pair in SGD).
+        """
+        clone = FactorGraph(self.weights if share_weights else self.weights.copy())
+        clone.factors = list(self.factors)
+        clone._num_vars = self._num_vars
+        clone._names = list(self._names)
+        clone._evidence = dict(self._evidence)
+        return clone
+
+    def validate(self) -> None:
+        """Check internal invariants; raises ``ValueError`` on violation."""
+        for factor in self.factors:
+            for var in factor.variables():
+                if not 0 <= var < self._num_vars:
+                    raise ValueError(f"factor references unknown variable {var}")
+            if not 0 <= factor.weight_id < len(self.weights):
+                raise ValueError(f"factor references unknown weight {factor.weight_id}")
+        for var in self._evidence:
+            if not 0 <= var < self._num_vars:
+                raise ValueError(f"evidence on unknown variable {var}")
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_var(self, var) -> None:
+        if not 0 <= int(var) < self._num_vars:
+            raise ValueError(
+                f"variable id {var} out of range [0, {self._num_vars})"
+            )
+
+    def _check_weight(self, weight_id) -> None:
+        if not 0 <= int(weight_id) < len(self.weights):
+            raise ValueError(f"weight id {weight_id} not in store")
+
+    def __repr__(self) -> str:
+        return (
+            f"FactorGraph(vars={self._num_vars}, factors={len(self.factors)}, "
+            f"weights={len(self.weights)}, evidence={len(self._evidence)})"
+        )

@@ -1,0 +1,69 @@
+"""The three grounding-count semantics of Figure 4.
+
+A rule factor's energy is ``w · sign(head, I) · g(n)`` where ``n`` is the
+number of satisfied body groundings (paper Eq. 1).  ``g`` is a
+"transformation group" choice that models different noise assumptions:
+
+* ``LINEAR``  — ``g(n) = n`` — raw counts are meaningful (classic MLN).
+* ``RATIO``   — ``g(n) = log(1 + n)`` — vote *ratios* matter (Ex. 2.5).
+* ``LOGICAL`` — ``g(n) = 1{n > 0}`` — existence only.
+
+The paper shows (§2.3, Fig. 10b, App. A) that the choice affects both KBC
+quality (up to 10% F1) and Gibbs mixing time (linear mixes exponentially
+slowly on voting programs; logical/ratio mix in O(n log n)).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+import numpy as np
+
+
+class Semantics(enum.Enum):
+    """Choice of the ``g`` function applied to grounding counts."""
+
+    LINEAR = "linear"
+    RATIO = "ratio"
+    LOGICAL = "logical"
+
+    @classmethod
+    def coerce(cls, value) -> "Semantics":
+        """Accept a :class:`Semantics`, or its string name ("ratio" etc.)."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            try:
+                return cls(value.lower())
+            except ValueError:
+                raise ValueError(
+                    f"unknown semantics {value!r}; expected one of "
+                    f"{[m.value for m in cls]}"
+                ) from None
+        raise TypeError(f"cannot interpret {value!r} as Semantics")
+
+
+def g_value(semantics: Semantics, n: int) -> float:
+    """Evaluate ``g(n)`` for a single non-negative count ``n``."""
+    if n < 0:
+        raise ValueError(f"grounding count must be non-negative, got {n}")
+    if semantics is Semantics.LINEAR:
+        return float(n)
+    if semantics is Semantics.RATIO:
+        return math.log1p(n)
+    if semantics is Semantics.LOGICAL:
+        return 1.0 if n > 0 else 0.0
+    raise TypeError(f"unknown semantics {semantics!r}")
+
+
+def g_array(semantics: Semantics, n: np.ndarray) -> np.ndarray:
+    """Vectorised ``g`` over an array of counts."""
+    n = np.asarray(n, dtype=float)
+    if semantics is Semantics.LINEAR:
+        return n
+    if semantics is Semantics.RATIO:
+        return np.log1p(n)
+    if semantics is Semantics.LOGICAL:
+        return (n > 0).astype(float)
+    raise TypeError(f"unknown semantics {semantics!r}")

@@ -1,0 +1,202 @@
+"""Full grounding: program + database → factor graph (paper §2.5, Fig. 3).
+
+Phases, mirroring the paper's execution model:
+
+1. **Derivation** — evaluate the deterministic rules (candidate mappings,
+   feature extraction, supervision) in stratified order, recording
+   derivation counts (this is what DRed's delta relations maintain).
+2. **Variables** — every visible tuple of every variable relation becomes
+   a Boolean random variable.
+3. **Evidence** — rows of ``R_Ev`` relations clamp the matching variable.
+4. **Factors** — each inference rule's body join is evaluated; bindings
+   are grouped by ``(head variable, weight key)`` and each group becomes
+   one rule factor whose groundings are the bodies' variable literals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.ast import EVIDENCE_SUFFIX, InferenceRule
+from repro.datalog.program import Program
+from repro.db.database import Database
+from repro.db.query import Var, evaluate_query
+from repro.graph.factor_graph import FactorGraph
+
+
+@dataclass
+class FactorRecord:
+    """Bookkeeping for one grounded factor (used incrementally)."""
+
+    rule_name: str
+    head_var: int
+    weight_id: int
+    semantics: object
+    groundings: list = field(default_factory=list)
+    factor_index: int = -1
+
+
+@dataclass
+class GroundingResult:
+    """The grounded graph plus the maps incremental maintenance needs."""
+
+    graph: FactorGraph
+    variable_of: dict          # (relation, tuple) -> variable id
+    tuple_of: dict             # variable id -> (relation, tuple)
+    factor_records: dict       # (rule, head var, weight id) -> FactorRecord
+
+    def variable(self, relation: str, row) -> int:
+        return self.variable_of[(relation, tuple(row))]
+
+    def marginal_of(self, marginals, relation: str, row) -> float:
+        return float(marginals[self.variable(relation, row)])
+
+
+def _instantiate(atom, binding) -> tuple:
+    return tuple(
+        binding[a.name] if isinstance(a, Var) else a for a in atom.args
+    )
+
+
+def apply_rule_bindings(
+    rule: InferenceRule,
+    semantics,
+    signed_bindings,
+    variable_relations,
+    variable_of: dict,
+    weights,
+    records: dict,
+    touched_keys: set | None = None,
+) -> None:
+    """Fold signed rule bindings into the factor records.
+
+    Each binding contributes one grounding (the body's variable literals)
+    to the record keyed by ``(rule, head var, weight id)``; negative signs
+    retract a previously added grounding.  ``touched_keys``, when given,
+    collects the record keys that changed (incremental bookkeeping).
+    """
+    variable_atoms = [
+        (pos, atom)
+        for pos, atom in enumerate(rule.body)
+        if atom.pred in variable_relations
+    ]
+    for binding, sign in signed_bindings:
+        head_key = (rule.head.pred, rule.head_tuple(binding))
+        head_var = variable_of.get(head_key)
+        if head_var is None:
+            raise KeyError(
+                f"inference rule {rule.name!r} derives head tuple "
+                f"{head_key} that is not a grounded variable; add a "
+                "candidate (derivation) rule that creates it"
+            )
+        weight_key = rule.weight.key_for(rule.name, binding)
+        weight_id = weights.intern(
+            weight_key, initial=rule.weight.value, fixed=rule.weight.fixed
+        )
+        literals = tuple(
+            (
+                variable_of[(atom.pred, _instantiate(atom, binding))],
+                pos not in rule.negated_positions,
+            )
+            for pos, atom in variable_atoms
+        )
+        record_key = (rule.name, head_var, weight_id)
+        record = records.get(record_key)
+        if record is None:
+            record = FactorRecord(
+                rule_name=rule.name,
+                head_var=head_var,
+                weight_id=weight_id,
+                semantics=semantics,
+            )
+            records[record_key] = record
+        if touched_keys is not None:
+            touched_keys.add(record_key)
+        if sign > 0:
+            record.groundings.append(literals)
+        else:
+            record.groundings.remove(literals)
+
+
+class Grounder:
+    """Grounds ``program`` over ``db`` from scratch."""
+
+    def __init__(self, program: Program, db: Database) -> None:
+        self.program = program
+        self.db = db
+
+    # ------------------------------------------------------------------ #
+
+    def run_derivation_rules(self) -> None:
+        """Evaluate all derivation rules, accumulating derivation counts."""
+        for rule in self.program.stratified_derivation_rules():
+            relation = self.db.relation(rule.head.pred)
+            for binding, sign in evaluate_query(self.db, rule.body):
+                for expanded in rule.expanded_bindings(binding):
+                    relation.insert(rule.head_tuple(expanded), count=sign)
+
+    def create_variables(self, graph: FactorGraph) -> tuple:
+        variable_of: dict = {}
+        tuple_of: dict = {}
+        for relation_name in sorted(self.program.variable_relations):
+            for row in sorted(self.db.relation(relation_name).rows()):
+                vid = graph.add_variable(name=(relation_name, row))
+                variable_of[(relation_name, row)] = vid
+                tuple_of[vid] = (relation_name, row)
+        return variable_of, tuple_of
+
+    def apply_evidence(self, graph: FactorGraph, variable_of: dict) -> None:
+        for relation_name in self.program.variable_relations:
+            ev_name = relation_name + EVIDENCE_SUFFIX
+            if not self.db.has_relation(ev_name):
+                continue
+            for row in self.db.relation(ev_name).rows():
+                key = (relation_name, row[:-1])
+                vid = variable_of.get(key)
+                if vid is not None:
+                    graph.set_evidence(vid, bool(row[-1]))
+
+    def ground_inference_rule(
+        self,
+        rule: InferenceRule,
+        graph: FactorGraph,
+        variable_of: dict,
+        records: dict,
+        sources=None,
+    ) -> None:
+        """Ground one inference rule; ``sources`` supports delta joins."""
+        apply_rule_bindings(
+            rule,
+            self.program.semantics_of(rule),
+            evaluate_query(self.db, rule.body, sources=sources),
+            self.program.variable_relations,
+            variable_of,
+            graph.weights,
+            records,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def ground(self) -> GroundingResult:
+        """Run all phases and return the grounded graph + maps."""
+        self.run_derivation_rules()
+        graph = FactorGraph()
+        variable_of, tuple_of = self.create_variables(graph)
+        self.apply_evidence(graph, variable_of)
+        records: dict = {}
+        for rule in self.program.inference_rules:
+            self.ground_inference_rule(rule, graph, variable_of, records)
+        for record in records.values():
+            record.factor_index = graph.add_rule_factor(
+                record.weight_id,
+                record.head_var,
+                record.groundings,
+                record.semantics,
+            )
+        graph.validate()
+        return GroundingResult(
+            graph=graph,
+            variable_of=variable_of,
+            tuple_of=tuple_of,
+            factor_records=records,
+        )

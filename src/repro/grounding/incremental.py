@@ -1,0 +1,427 @@
+"""Incremental grounding: delta rules over the counting algorithm (§3.1).
+
+DeepDive maintains, for every relation, derivation counts (DRed's delta
+relations); on an update it propagates *visibility transitions* (tuples
+appearing/disappearing) through the stratified derivation rules and then
+re-joins only the changed part of each inference rule's body to produce
+the modified variables ∆V and factors ∆F.
+
+The join algebra: relations are updated to their new state first, and a
+rule's binding delta is computed from the identity ``old = new − Δ``::
+
+    Δ(A₁ ⋈ … ⋈ A_k) = Σ_{∅≠S⊆{1..k}} (−1)^{|S|+1} ⋈_{i∈S} Δ_i ⋈_{i∉S} A_i^new
+
+with tuple signs multiplying through the join.  Because the paper's
+programs are non-recursive, this specialisation of DRed is exact — no
+over-deletion/rederivation pass is needed.
+
+Program changes are handled in the same framework: an added rule's delta
+is its full evaluation over the new state; a removed inference rule's
+delta is the retraction of all its factors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.datalog.ast import EVIDENCE_SUFFIX
+from repro.datalog.program import Program
+from repro.db.database import Database
+from repro.db.query import evaluate_query
+from repro.graph.delta import FactorGraphDelta
+from repro.graph.factor_graph import FactorGraph, RuleFactor
+from repro.grounding.grounder import (
+    FactorRecord,
+    Grounder,
+    GroundingResult,
+    apply_rule_bindings,
+)
+
+
+@dataclass
+class UpdateResult:
+    """What one incremental update produced."""
+
+    delta: FactorGraphDelta
+    graph: FactorGraph
+    transitions: dict = field(default_factory=dict)
+
+    @property
+    def summary(self) -> str:
+        return self.delta.summary()
+
+
+def _signed_delta_bindings(db: Database, body, transitions: dict):
+    """Yield ``(binding, sign)`` for the delta of a body join.
+
+    ``transitions`` maps relation name → {row: ±1}.  Relations must
+    already be in their NEW state (see module docstring identity).
+    """
+    changed_positions = [
+        i
+        for i, atom in enumerate(body)
+        if transitions.get(atom.pred)
+    ]
+    for size in range(1, len(changed_positions) + 1):
+        parity = 1 if size % 2 == 1 else -1
+        for subset in itertools.combinations(changed_positions, size):
+            sources = {
+                i: list(transitions[body[i].pred].items()) for i in subset
+            }
+            for binding, sign in evaluate_query(db, body, sources=sources):
+                yield binding, sign * parity
+
+
+class IncrementalGrounder:
+    """Owns the current grounding and evolves it under updates.
+
+    Use :meth:`from_scratch` to ground initially, then call
+    :meth:`apply_update` per development iteration; each call returns the
+    :class:`FactorGraphDelta` (for incremental inference) and the updated
+    graph, and advances the grounder's internal state.
+    """
+
+    def __init__(self, program: Program, db: Database, grounding: GroundingResult):
+        self.program = program
+        self.db = db
+        self.graph = grounding.graph
+        self.variable_of = grounding.variable_of
+        self.tuple_of = grounding.tuple_of
+        self.records = grounding.factor_records
+        self._records_by_var: dict = {}
+        for key, record in self.records.items():
+            for var in self._record_vars(record):
+                self._records_by_var.setdefault(var, set()).add(key)
+
+    @classmethod
+    def from_scratch(cls, program: Program, db: Database) -> "IncrementalGrounder":
+        grounding = Grounder(program, db).ground()
+        return cls(program, db, grounding)
+
+    @staticmethod
+    def _record_vars(record: FactorRecord):
+        seen = {record.head_var}
+        for grounding in record.groundings:
+            for var, _pos in grounding:
+                seen.add(var)
+        return seen
+
+    # ------------------------------------------------------------------ #
+    # The update entry point
+    # ------------------------------------------------------------------ #
+
+    def apply_update(
+        self,
+        inserts: dict | None = None,
+        deletes: dict | None = None,
+        add_derivation_rules=(),
+        add_inference_rules=(),
+        remove_inference_rules=(),
+    ) -> UpdateResult:
+        """Process one development iteration's changes.
+
+        ``inserts``/``deletes`` map base-relation names to lists of rows.
+        Rules are :class:`DerivationRule` / :class:`InferenceRule`
+        instances (or names, for removal).
+        """
+        inserts = inserts or {}
+        deletes = deletes or {}
+
+        # ---- 1. Base-relation visibility transitions (computed, then applied).
+        transitions: dict = {}
+        for name, rows in inserts.items():
+            counts = transitions.setdefault(name, {})
+            for row in rows:
+                row = tuple(row)
+                counts[row] = counts.get(row, 0) + 1
+        for name, rows in deletes.items():
+            counts = transitions.setdefault(name, {})
+            for row in rows:
+                row = tuple(row)
+                counts[row] = counts.get(row, 0) - 1
+        base_transitions: dict = {}
+        for name, counts in transitions.items():
+            relation = self.db.relation(name)
+            visible: dict = {}
+            for row, change in counts.items():
+                old = relation.count(row)
+                new = old + change
+                if new < 0:
+                    raise KeyError(
+                        f"update deletes more derivations of {row!r} from "
+                        f"{name!r} than exist"
+                    )
+                if old == 0 and new > 0:
+                    visible[row] = 1
+                elif old > 0 and new == 0:
+                    visible[row] = -1
+            relation.apply_delta(counts)
+            if visible:
+                base_transitions[name] = visible
+
+        # ---- 2. Register new derivation rules.
+        new_derivation_names = set()
+        for rule in add_derivation_rules:
+            self.program.register_derivation_rule(rule)
+            new_derivation_names.add(rule.name)
+
+        # ---- 3. Propagate through derivation rules in stratified order.
+        all_transitions = dict(base_transitions)
+        rules_by_head: dict = {}
+        for rule in self.program.stratified_derivation_rules():
+            rules_by_head.setdefault(rule.head.pred, []).append(rule)
+        for head_name in self._derived_relation_order():
+            head_delta: dict = {}
+            for rule in rules_by_head.get(head_name, ()):
+                if rule.name in new_derivation_names:
+                    signed = (
+                        (b, s)
+                        for b, s in evaluate_query(self.db, rule.body)
+                    )
+                elif any(
+                    all_transitions.get(atom.pred) for atom in rule.body
+                ):
+                    signed = _signed_delta_bindings(
+                        self.db, rule.body, all_transitions
+                    )
+                else:
+                    continue
+                for binding, sign in signed:
+                    for expanded in rule.expanded_bindings(binding):
+                        head_row = rule.head_tuple(expanded)
+                        head_delta[head_row] = head_delta.get(head_row, 0) + sign
+            head_delta = {r: c for r, c in head_delta.items() if c != 0}
+            if not head_delta:
+                continue
+            relation = self.db.relation(head_name)
+            appeared, disappeared = relation.apply_delta(head_delta)
+            visible = {row: 1 for row in appeared}
+            visible.update({row: -1 for row in disappeared})
+            if visible:
+                merged = all_transitions.setdefault(head_name, {})
+                for row, sign in visible.items():
+                    merged[row] = merged.get(row, 0) + sign
+
+        # ---- 4. Variable relation transitions -> ∆V.  Removed tuples stay
+        # resolvable in ``variable_of`` until the factor deltas are joined
+        # (their retraction bindings need the ids); they are dropped in
+        # step 7.
+        delta = FactorGraphDelta()
+        removed_vars: set = set()
+        new_var_offset: dict = {}
+        for name in sorted(self.program.variable_relations):
+            for row, sign in sorted(all_transitions.get(name, {}).items()):
+                if sign > 0:
+                    offset = delta.num_new_vars
+                    delta.num_new_vars += 1
+                    delta.new_var_names.append((name, row))
+                    vid = self.graph.num_vars + offset
+                    self.variable_of[(name, row)] = vid
+                    self.tuple_of[vid] = (name, row)
+                    new_var_offset[vid] = offset
+                    # A candidate appearing after its labels: pick up
+                    # pre-existing evidence rows.
+                    value = self._current_evidence_value(name, row)
+                    if value is not None:
+                        delta.new_var_evidence[offset] = value
+                elif sign < 0:
+                    removed_vars.add(self.variable_of[(name, row)])
+
+        # ---- 5. Evidence transitions (db is fully in its new state now).
+        self._apply_evidence_transitions(delta, all_transitions, new_var_offset)
+
+        # ---- 6. Inference-rule factor deltas.
+        removed_record_keys: set = set()
+        touched_keys: set = set()
+        # 6a. Removed rules retract all their factors.
+        removed_rule_names = set()
+        for rule_or_name in remove_inference_rules:
+            name = getattr(rule_or_name, "name", rule_or_name)
+            self.program.remove_inference_rule(name)
+            removed_rule_names.add(name)
+        for key, record in self.records.items():
+            if record.rule_name in removed_rule_names:
+                removed_record_keys.add(key)
+        # 6b. New rules ground fully; existing rules ground their delta.
+        # Groundings that referenced a removed variable are retracted here
+        # naturally: the variable's tuple disappeared from its relation, so
+        # the delta join emits the matching negative bindings.
+        new_rule_names = set()
+        for rule in add_inference_rules:
+            self.program.register_inference_rule(rule)
+            new_rule_names.add(rule.name)
+        new_weight_entries: list = []
+        weights = _DeltaWeightView(self.graph.weights, new_weight_entries)
+        for rule in self.program.inference_rules:
+            if rule.name in removed_rule_names:
+                continue
+            if rule.name in new_rule_names:
+                signed = evaluate_query(self.db, rule.body)
+            elif any(all_transitions.get(atom.pred) for atom in rule.body):
+                signed = _signed_delta_bindings(
+                    self.db, rule.body, all_transitions
+                )
+            else:
+                continue
+            apply_rule_bindings(
+                rule,
+                self.program.semantics_of(rule),
+                signed,
+                self.program.variable_relations,
+                self.variable_of,
+                weights,
+                self.records,
+                touched_keys=touched_keys,
+            )
+        delta.new_weight_entries = new_weight_entries
+        # 6c. Records whose head variable disappeared are retracted; their
+        # ids are dropped from the maps now that joins are done.
+        for var in removed_vars:
+            for key in list(self._records_by_var.get(var, ())):
+                if self.records[key].head_var == var:
+                    removed_record_keys.add(key)
+            name_row = self.tuple_of.pop(var)
+            del self.variable_of[name_row]
+
+        # ---- 7. Convert record changes into (∆F): every touched surviving
+        # record is rebuilt (old factor removed, new factor appended).
+        touched_keys -= removed_record_keys
+        for key in removed_record_keys:
+            record = self.records.pop(key)
+            if record.factor_index >= 0:
+                delta.removed_factor_ids.add(record.factor_index)
+            for var in self._record_vars(record):
+                bucket = self._records_by_var.get(var)
+                if bucket:
+                    bucket.discard(key)
+        appended: list = []
+        for key in sorted(touched_keys, key=str):
+            record = self.records[key]
+            if record.factor_index >= 0:
+                delta.removed_factor_ids.add(record.factor_index)
+            if not record.groundings:
+                del self.records[key]
+                for var in self._record_vars(record):
+                    bucket = self._records_by_var.get(var)
+                    if bucket:
+                        bucket.discard(key)
+                continue
+            delta.new_factors.append(
+                RuleFactor(
+                    weight_id=record.weight_id,
+                    head=record.head_var,
+                    groundings=tuple(record.groundings),
+                    semantics=record.semantics,
+                )
+            )
+            appended.append(key)
+            for var in self._record_vars(record):
+                self._records_by_var.setdefault(var, set()).add(key)
+
+        # Tombstone removed variables: clamp them false so any residual
+        # reference contributes nothing.
+        for var in removed_vars:
+            delta.evidence_updates[var] = False
+
+        # ---- 8. Apply and re-index.
+        updated = delta.apply(self.graph)
+        self._reindex(delta, appended, updated)
+        result = UpdateResult(delta=delta, graph=updated, transitions=all_transitions)
+        self.graph = updated
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def _derived_relation_order(self) -> list:
+        """Derived relations in dependency order (deduped, stable)."""
+        seen = []
+        for rule in self.program.stratified_derivation_rules():
+            if rule.head.pred not in seen:
+                seen.append(rule.head.pred)
+        return seen
+
+    def _current_evidence_value(self, name: str, var_row: tuple):
+        """The evidence label for a variable tuple under the current db
+        state, or ``None``.  Positive evidence wins label conflicts."""
+        ev_name = name + EVIDENCE_SUFFIX
+        if not self.db.has_relation(ev_name):
+            return None
+        rows = self.db.relation(ev_name).lookup(
+            tuple(range(len(var_row))), var_row
+        )
+        labels = {bool(row[-1]) for row in rows}
+        if not labels:
+            return None
+        return True in labels
+
+    def _apply_evidence_transitions(
+        self, delta: FactorGraphDelta, transitions: dict, new_var_offset: dict
+    ) -> None:
+        for name in self.program.variable_relations:
+            ev_name = name + EVIDENCE_SUFFIX
+            changed = transitions.get(ev_name)
+            if not changed:
+                continue
+            affected = {row[:-1] for row in changed}
+            for var_row in affected:
+                vid = self.variable_of.get((name, var_row))
+                if vid is None:
+                    continue  # evidence about a non-candidate tuple
+                value = self._current_evidence_value(name, var_row)
+                if vid in new_var_offset:
+                    if value is not None:
+                        delta.new_var_evidence[new_var_offset[vid]] = value
+                else:
+                    current = self.graph.evidence_value(vid)
+                    if current != value:
+                        delta.evidence_updates[vid] = value
+
+    def _reindex(self, delta: FactorGraphDelta, appended, updated: FactorGraph) -> None:
+        """Recompute record factor indexes after a delta application."""
+        removed = delta.removed_factor_ids
+        old_count = self.graph.num_factors
+        mapping = {}
+        new_index = 0
+        for old_index in range(old_count):
+            if old_index in removed:
+                continue
+            mapping[old_index] = new_index
+            new_index += 1
+        for record in self.records.values():
+            if record.factor_index in mapping:
+                record.factor_index = mapping[record.factor_index]
+            elif record.factor_index >= 0 and record.factor_index not in removed:
+                raise AssertionError("record index lost during reindex")
+        for offset, key in enumerate(appended):
+            self.records[key].factor_index = new_index + offset
+        for record in self.records.values():
+            factor = updated.factors[record.factor_index]
+            if not isinstance(factor, RuleFactor) or factor.head != record.head_var:
+                raise AssertionError("factor registry out of sync")
+
+
+class _DeltaWeightView:
+    """Weight-store facade that records newly interned keys into a delta.
+
+    Existing keys resolve against the base store; new keys get the next
+    ids *as if* appended, matching :meth:`FactorGraphDelta.apply`.
+    """
+
+    def __init__(self, base, new_entries: list) -> None:
+        self._base = base
+        self._new_entries = new_entries
+        self._new_ids: dict = {}
+
+    def intern(self, key, initial: float = 0.0, fixed: bool = False) -> int:
+        existing = self._base.id_for(key)
+        if existing is not None:
+            return existing
+        if key in self._new_ids:
+            return self._new_ids[key]
+        wid = len(self._base) + len(self._new_entries)
+        self._new_ids[key] = wid
+        self._new_entries.append((key, initial, fixed))
+        return wid

@@ -1,0 +1,141 @@
+"""Independent Metropolis–Hastings over materialized samples (§3.2.2).
+
+The materialization phase stored worlds drawn from the original
+distribution ``Pr⁰``.  To infer under the updated distribution ``Pr^∆``,
+each stored world is proposed in turn; because the proposal density *is*
+``Pr⁰``, the acceptance ratio collapses to ``exp(δW(y) − δW(x))`` which
+:class:`~repro.graph.delta_energy.DeltaEvaluator` computes from the delta
+``(∆V, ∆F)`` alone.  Worlds that contradict evidence introduced by the
+delta have zero target density and are always rejected — this is why
+supervision updates crater the acceptance rate (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.delta import FactorGraphDelta
+from repro.graph.delta_energy import DeltaEvaluator
+from repro.graph.factor_graph import FactorGraph
+from repro.util.rng import as_generator
+
+
+@dataclass
+class MHResult:
+    """Outcome of an independent-MH inference run."""
+
+    marginals: np.ndarray
+    acceptance_rate: float
+    proposals_used: int
+    accepted: int
+    exhausted: bool
+    chain: np.ndarray | None = None
+
+    def summary(self) -> str:
+        return (
+            f"MHResult(acceptance={self.acceptance_rate:.3f}, "
+            f"used={self.proposals_used}, exhausted={self.exhausted})"
+        )
+
+
+class IndependentMH:
+    """Reuse stored samples as proposals for the updated distribution.
+
+    Parameters
+    ----------
+    base:
+        The factor graph the samples were drawn from.
+    delta:
+        The change set defining the updated distribution.
+    stored_samples:
+        ``(S, base.num_vars)`` boolean matrix of worlds from ``Pr⁰``.
+    """
+
+    def __init__(
+        self,
+        base: FactorGraph,
+        delta: FactorGraphDelta,
+        stored_samples: np.ndarray,
+        seed=None,
+    ) -> None:
+        self.base = base
+        self.delta = delta
+        self.evaluator = DeltaEvaluator(base, delta)
+        self.stored = np.asarray(stored_samples, dtype=bool)
+        if self.stored.ndim != 2 or self.stored.shape[1] != base.num_vars:
+            raise ValueError(
+                f"stored samples must be (S, {base.num_vars}); "
+                f"got {self.stored.shape}"
+            )
+        self.rng = as_generator(seed)
+
+    # ------------------------------------------------------------------ #
+
+    def _initial_state(self) -> tuple:
+        """A support-positive starting world: first stored sample with the
+        delta's evidence forced (only the *initial* state may be forced —
+        proposals are never modified, they are rejected instead)."""
+        world = self.evaluator.extend_world(self.stored[0], self.rng)
+        for var, val in self.evaluator.evidence_constraints.items():
+            world[var] = val
+        return world, self.evaluator.delta_energy(world)
+
+    def run(self, num_steps: int, keep_chain: bool = False) -> MHResult:
+        """Run up to ``num_steps`` MH steps (one stored proposal each).
+
+        Stops early — with ``exhausted=True`` — if the stored samples run
+        out, signalling the engine to fall back to another strategy
+        (optimizer rule 4, §3.3).
+        """
+        evaluator = self.evaluator
+        current, current_delta = self._initial_state()
+        total_vars = evaluator.total_vars
+
+        steps = min(num_steps, len(self.stored))
+        exhausted = steps < num_steps
+
+        counts = np.zeros(total_vars, dtype=np.int64)
+        chain = np.empty((steps, total_vars), dtype=bool) if keep_chain else None
+        accepted = 0
+        uniforms = self.rng.random(steps)
+        for step in range(steps):
+            proposal = evaluator.extend_world(self.stored[step], self.rng)
+            if evaluator.violates_evidence(proposal):
+                log_alpha = float("-inf")
+                proposal_delta = float("-inf")
+            else:
+                proposal_delta = evaluator.delta_energy(proposal)
+                log_alpha = proposal_delta - current_delta
+            if log_alpha >= 0 or uniforms[step] < np.exp(log_alpha):
+                current = proposal
+                current_delta = proposal_delta
+                accepted += 1
+            counts += current
+            if keep_chain:
+                chain[step] = current
+
+        marginals = counts / max(steps, 1)
+        return MHResult(
+            marginals=marginals,
+            acceptance_rate=accepted / max(steps, 1),
+            proposals_used=steps,
+            accepted=accepted,
+            exhausted=exhausted,
+            chain=chain,
+        )
+
+    def estimate_acceptance_rate(self, probe: int = 50) -> float:
+        """Cheap acceptance-rate probe on a prefix of the stored samples.
+
+        Used by the engine to decide whether the sampling approach is
+        viable before committing to it.
+        """
+        probe = min(probe, len(self.stored))
+        if probe == 0:
+            return 0.0
+        result = IndependentMH(
+            self.base, self.delta, self.stored[:probe], seed=self.rng
+        ).run(probe)
+        return result.acceptance_rate

@@ -1,0 +1,27 @@
+"""End-to-end KBC: corpus → candidates → features → supervision → KB.
+
+The paper's corpora (1.8M news articles, paleontology journals, ads,
+biomedical text) are unavailable; :mod:`repro.kbc.corpus` synthesises
+documents with entity mentions, relation-bearing cue phrases, and
+configurable noise, together with a gold KB used both for distant
+supervision and for precision/recall scoring (see DESIGN.md §2).
+
+:class:`~repro.kbc.pipeline.KBCPipeline` assembles the full DeepDive
+program for a corpus and drives grounding, learning, inference, and
+error analysis; :mod:`repro.workloads` instantiates it for the five
+evaluation systems of Figure 7.
+"""
+
+from repro.kbc.corpus import Corpus, CorpusConfig, SpamStream, generate_corpus
+from repro.kbc.pipeline import KBCPipeline, PipelineResult
+from repro.kbc.quality import precision_recall_f1
+
+__all__ = [
+    "Corpus",
+    "CorpusConfig",
+    "KBCPipeline",
+    "PipelineResult",
+    "SpamStream",
+    "generate_corpus",
+    "precision_recall_f1",
+]

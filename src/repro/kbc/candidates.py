@@ -1,0 +1,47 @@
+"""Candidate generation (paper §2.2, rule R1).
+
+Candidate mappings are deliberately high-recall: every ordered pair of
+distinct mentions in the same sentence becomes a relation-mention
+candidate.  If the union of candidate mappings misses a fact, DeepDive
+has no chance to extract it.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import DerivationRule
+from repro.db.query import Atom, Var
+
+
+def _distinct_pair(binding) -> list:
+    """UDF filter: drop self-pairs (a mention with itself)."""
+    if binding["m1"] == binding["m2"]:
+        return []
+    return [{}]
+
+
+def candidate_rule(
+    candidate_relation: str = "SpouseCandidate",
+    mention_relation: str = "MentionInSentence",
+) -> DerivationRule:
+    """R1: candidates are mention pairs co-occurring in a sentence."""
+    return DerivationRule(
+        name="r1_candidates",
+        head=Atom(candidate_relation, (Var("m1"), Var("m2"))),
+        body=(
+            Atom(mention_relation, (Var("s"), Var("m1"))),
+            Atom(mention_relation, (Var("s"), Var("m2"))),
+        ),
+        udf=_distinct_pair,
+    )
+
+
+def variable_rule(
+    variable_relation: str = "SpouseMentions",
+    candidate_relation: str = "SpouseCandidate",
+) -> DerivationRule:
+    """Every candidate becomes a Boolean random variable."""
+    return DerivationRule(
+        name="candidates_to_variables",
+        head=Atom(variable_relation, (Var("m1"), Var("m2"))),
+        body=(Atom(candidate_relation, (Var("m1"), Var("m2"))),),
+    )

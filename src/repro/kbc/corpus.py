@@ -1,0 +1,263 @@
+"""Synthetic corpus generation (the paper's document collections).
+
+A corpus is a set of documents; each sentence mentions two entities with
+a connecting phrase.  Whether the phrase is a *positive cue* ("and his
+wife") correlates with whether the entity pair is in the gold KB, with
+per-workload reliability; noise knobs reproduce the quality spectrum of
+§4.1 (Adversarial: 1–2 garbled sentences per ad; Paleontology: precise
+curated prose).
+
+``SpamStream`` generates the drifting classification stream of the
+concept-drift study (App. B.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import as_generator
+
+POSITIVE_CUES = [
+    "and_his_wife",
+    "married_to",
+    "wed",
+    "spouse_of",
+    "tied_the_knot_with",
+]
+NEGATIVE_CUES = [
+    "met_with",
+    "spoke_to",
+    "brother_of",
+    "colleague_of",
+    "rival_of",
+    "employed_by",
+]
+FILLER = ["the", "a", "report", "today", "officials", "said", "in", "city"]
+
+
+def canonical_pair(e1: str, e2: str) -> tuple:
+    """The unordered form of an entity pair (used everywhere pairs are
+    compared: gold KB, supervision, extraction scoring)."""
+    return (e1, e2) if e1 <= e2 else (e2, e1)
+
+
+@dataclass(frozen=True)
+class Mention:
+    """A span of text referring to an entity (paper §2.1)."""
+
+    mention_id: str
+    sentence_id: str
+    surface: str
+    entity_id: str  # ground truth; entity linking may err
+
+
+@dataclass(frozen=True)
+class Sentence:
+    sentence_id: str
+    doc_id: str
+    tokens: tuple
+    mentions: tuple
+    cue: str
+    cue_position: int
+
+
+@dataclass(frozen=True)
+class Document:
+    doc_id: str
+    sentences: tuple
+
+
+@dataclass
+class CorpusConfig:
+    """Generation knobs; per-workload values live in ``repro.workloads``."""
+
+    name: str = "corpus"
+    num_docs: int = 60
+    sentences_per_doc: int = 3
+    num_entities: int = 30
+    gold_pair_fraction: float = 0.3
+    #: Probability a sentence is about a gold pair (related entities are
+    #: mentioned together far more often than random pairs would be).
+    related_sentence_prob: float = 0.35
+    cue_reliability: float = 0.85
+    noise_level: float = 0.0
+    linking_noise: float = 0.0
+    filler_tokens: int = 2
+    num_relations: int = 1
+    seed: int = 0
+
+
+@dataclass
+class Corpus:
+    config: CorpusConfig
+    documents: tuple
+    entities: tuple
+    gold_pairs: set = field(default_factory=set)
+
+    def sentences(self):
+        for doc in self.documents:
+            yield from doc.sentences
+
+    def all_mentions(self):
+        for sentence in self.sentences():
+            yield from sentence.mentions
+
+    def stats(self) -> dict:
+        num_sentences = sum(len(d.sentences) for d in self.documents)
+        return {
+            "name": self.config.name,
+            "docs": len(self.documents),
+            "sentences": num_sentences,
+            "entities": len(self.entities),
+            "gold_pairs": len(self.gold_pairs),
+            "relations": self.config.num_relations,
+        }
+
+
+def _corrupt(token: str, rng) -> str:
+    """Adversarial-style corruption: drop or swap characters."""
+    if len(token) < 3:
+        return token + "x"
+    cut = int(rng.integers(1, len(token)))
+    return token[:cut] + token[cut + 1 :]
+
+
+def generate_corpus(config: CorpusConfig) -> Corpus:
+    """Generate a corpus plus its gold KB."""
+    rng = as_generator(config.seed)
+    entities = tuple(f"ent{idx}" for idx in range(config.num_entities))
+
+    # Gold KB: unordered related pairs.
+    gold_pairs: set = set()
+    num_gold = max(1, int(config.gold_pair_fraction * config.num_entities))
+    while len(gold_pairs) < num_gold:
+        i, j = rng.choice(config.num_entities, size=2, replace=False)
+        gold_pairs.add(canonical_pair(entities[int(i)], entities[int(j)]))
+
+    documents = []
+    mention_counter = 0
+    for d in range(config.num_docs):
+        doc_id = f"d{d}"
+        sentences = []
+        for s in range(config.sentences_per_doc):
+            sentence_id = f"{doc_id}_s{s}"
+            if gold_pairs and rng.random() < config.related_sentence_prob:
+                pair_list = sorted(gold_pairs)
+                e1, e2 = pair_list[int(rng.integers(len(pair_list)))]
+                if rng.random() < 0.5:
+                    e1, e2 = e2, e1
+            else:
+                i, j = rng.choice(config.num_entities, size=2, replace=False)
+                e1, e2 = entities[i], entities[j]
+            related = canonical_pair(e1, e2) in gold_pairs
+            use_positive = (
+                rng.random() < config.cue_reliability
+                if related
+                else rng.random() > config.cue_reliability
+            )
+            cue_pool = POSITIVE_CUES if use_positive else NEGATIVE_CUES
+            cue = cue_pool[int(rng.integers(len(cue_pool)))]
+
+            surface1 = _surface(e1, entities, config, rng)
+            surface2 = _surface(e2, entities, config, rng)
+            prefix = [
+                FILLER[int(rng.integers(len(FILLER)))]
+                for _ in range(config.filler_tokens)
+            ]
+            tokens = prefix + [surface1, cue, surface2]
+            if config.noise_level > 0:
+                tokens = [
+                    _corrupt(t, rng) if rng.random() < config.noise_level else t
+                    for t in tokens
+                ]
+                cue = tokens[len(prefix) + 1]
+            m1 = Mention(
+                mention_id=f"m{mention_counter}",
+                sentence_id=sentence_id,
+                surface=tokens[len(prefix)],
+                entity_id=e1,
+            )
+            m2 = Mention(
+                mention_id=f"m{mention_counter + 1}",
+                sentence_id=sentence_id,
+                surface=tokens[len(prefix) + 2],
+                entity_id=e2,
+            )
+            mention_counter += 2
+            sentences.append(
+                Sentence(
+                    sentence_id=sentence_id,
+                    doc_id=doc_id,
+                    tokens=tuple(tokens),
+                    mentions=(m1, m2),
+                    cue=cue,
+                    cue_position=len(prefix) + 1,
+                )
+            )
+        documents.append(Document(doc_id=doc_id, sentences=tuple(sentences)))
+    return Corpus(
+        config=config,
+        documents=tuple(documents),
+        entities=entities,
+        gold_pairs=gold_pairs,
+    )
+
+
+def _surface(entity: str, entities, config: CorpusConfig, rng) -> str:
+    """The mention's surface form; linking noise aliases another entity."""
+    if config.linking_noise > 0 and rng.random() < config.linking_noise:
+        return entities[int(rng.integers(len(entities)))]
+    return entity
+
+
+class SpamStream:
+    """Drifting binary text-classification stream (App. B.4, Fig. 17).
+
+    Emails are bags of word-features; the label depends on "spammy"
+    vocabulary.  After ``drift_point`` (a fraction of the stream) the
+    spam vocabulary rotates — an abrupt concept drift like the dataset of
+    Katakis et al. used in the paper.
+    """
+
+    def __init__(
+        self,
+        num_emails: int = 2000,
+        vocabulary_size: int = 120,
+        words_per_email: int = 12,
+        drift_point: float = 0.25,
+        seed: int = 0,
+    ) -> None:
+        rng = as_generator(seed)
+        self.vocabulary_size = vocabulary_size
+        spam_size = vocabulary_size // 6
+        spam_a = rng.choice(vocabulary_size, size=spam_size, replace=False)
+        # The drifted vocabulary keeps half of the old spam words and
+        # rotates in fresh ones — a partial, abrupt drift (warmstart
+        # remains partially useful, as in the paper's study).
+        keep = spam_a[: spam_size // 2]
+        others = np.setdiff1d(np.arange(vocabulary_size), spam_a)
+        fresh = rng.choice(others, size=spam_size - len(keep), replace=False)
+        spam_b = np.concatenate([keep, fresh])
+        features, labels = [], []
+        for idx in range(num_emails):
+            drifted = idx >= drift_point * num_emails
+            spam_words = spam_b if drifted else spam_a
+            words = rng.choice(vocabulary_size, size=words_per_email, replace=False)
+            spam_score = np.isin(words, spam_words).sum()
+            label = spam_score >= 2
+            features.append([int(w) for w in words])
+            labels.append(bool(label))
+        self.features = features
+        self.labels = np.asarray(labels, dtype=bool)
+
+    def split(self, train_fraction: float) -> tuple:
+        """(train_features, train_labels, rest_features, rest_labels)."""
+        cut = int(train_fraction * len(self.features))
+        return (
+            self.features[:cut],
+            self.labels[:cut],
+            self.features[cut:],
+            self.labels[cut:],
+        )

@@ -1,0 +1,46 @@
+"""Quality metrics: precision / recall / F1 against the gold KB (§1)."""
+
+from __future__ import annotations
+
+
+def precision_recall_f1(predicted, gold) -> dict:
+    """Standard set-based precision, recall and F1.
+
+    ``predicted`` and ``gold`` are iterables of hashable facts (here:
+    unordered entity pairs).
+    """
+    predicted = set(predicted)
+    gold = set(gold)
+    true_positives = len(predicted & gold)
+    precision = true_positives / len(predicted) if predicted else 0.0
+    recall = true_positives / len(gold) if gold else 0.0
+    if precision + recall == 0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def high_confidence_overlap(marginals_a: dict, marginals_b: dict, threshold: float = 0.9) -> float:
+    """Fraction of A's high-confidence facts also high-confidence in B.
+
+    The paper's §4.2 debugging-parity check: 99% of >0.9 facts in Rerun
+    also appear in Incremental.
+    """
+    high_a = {fact for fact, p in marginals_a.items() if p > threshold}
+    if not high_a:
+        return 1.0
+    high_b = {fact for fact, p in marginals_b.items() if p > threshold}
+    return len(high_a & high_b) / len(high_a)
+
+
+def probability_agreement(marginals_a: dict, marginals_b: dict, tolerance: float = 0.05) -> float:
+    """Fraction of facts whose probabilities agree within ``tolerance``
+    (the paper reports ≥96% within 0.05)."""
+    keys = set(marginals_a) & set(marginals_b)
+    if not keys:
+        return 1.0
+    agreeing = sum(
+        1 for k in keys if abs(marginals_a[k] - marginals_b[k]) <= tolerance
+    )
+    return agreeing / len(keys)

@@ -1,0 +1,83 @@
+"""Supervision rules (paper §2.2, Ex. 2.4; Fig. 8's S1/S2).
+
+Distant supervision labels candidates by joining them against an
+incomplete KB of known facts through entity linking — noisy but
+abundant.  Negative examples come from relations largely disjoint with
+the target (the paper's "siblings" trick), modelled here by a
+``DisjointRel`` relation of known-unrelated pairs.
+"""
+
+from __future__ import annotations
+
+from repro.datalog.ast import DerivationRule
+from repro.db.query import Atom, Var
+from repro.util.rng import as_generator
+from repro.kbc.corpus import canonical_pair
+
+
+def positive_supervision_rule(
+    variable_relation: str = "SpouseMentions",
+    candidate_relation: str = "SpouseCandidate",
+    kb_relation: str = "KnownRel",
+) -> DerivationRule:
+    """S1: distant supervision from the incomplete KB (Ex. 2.4)."""
+    return DerivationRule(
+        name="s1_positive",
+        head=Atom(variable_relation + "_Ev", (Var("m1"), Var("m2"), True)),
+        body=(
+            Atom(candidate_relation, (Var("m1"), Var("m2"))),
+            Atom("EL", (Var("m1"), Var("e1"))),
+            Atom("EL", (Var("m2"), Var("e2"))),
+            Atom(kb_relation, (Var("e1"), Var("e2"))),
+        ),
+    )
+
+
+def negative_supervision_rule(
+    variable_relation: str = "SpouseMentions",
+    candidate_relation: str = "SpouseCandidate",
+    disjoint_relation: str = "DisjointRel",
+) -> DerivationRule:
+    """S2: negative examples from a disjoint relation."""
+    return DerivationRule(
+        name="s2_negative",
+        head=Atom(variable_relation + "_Ev", (Var("m1"), Var("m2"), False)),
+        body=(
+            Atom(candidate_relation, (Var("m1"), Var("m2"))),
+            Atom("EL", (Var("m1"), Var("e1"))),
+            Atom("EL", (Var("m2"), Var("e2"))),
+            Atom(disjoint_relation, (Var("e1"), Var("e2"))),
+        ),
+    )
+
+
+def sample_known_pairs(gold_pairs, fraction: float, seed=0) -> list:
+    """An incomplete KB: a random ordered-both-ways subset of the gold KB."""
+    rng = as_generator(seed)
+    pairs = sorted(gold_pairs)
+    count = max(1, int(fraction * len(pairs)))
+    chosen = rng.choice(len(pairs), size=min(count, len(pairs)), replace=False)
+    known = []
+    for idx in chosen:
+        e1, e2 = pairs[int(idx)]
+        known.append((e1, e2))
+        known.append((e2, e1))
+    return known
+
+
+def sample_disjoint_pairs(entities, gold_pairs, count: int, seed=0) -> list:
+    """Known-unrelated entity pairs for negative supervision."""
+    rng = as_generator(seed)
+    gold = set(gold_pairs)
+    out = []
+    entities = list(entities)
+    attempts = 0
+    while len(out) < count * 2 and attempts < count * 50:
+        attempts += 1
+        i, j = rng.choice(len(entities), size=2, replace=False)
+        e1, e2 = entities[int(i)], entities[int(j)]
+        if canonical_pair(e1, e2) in gold:
+            continue
+        out.append((e1, e2))
+        out.append((e2, e1))
+    return out

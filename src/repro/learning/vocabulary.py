@@ -1,0 +1,63 @@
+"""String-feature vocabulary: interning feature names to dense indexes.
+
+The KBC pipeline's feature extractors emit string features ("phrase:and
+his wife", "bow:married", ...); learning works over dense indexes.  A
+``Vocabulary`` can be *frozen* so that streaming test data cannot grow the
+feature space (needed by the concept-drift experiment).
+"""
+
+from __future__ import annotations
+
+
+class Vocabulary:
+    """A bidirectional string ↔ index mapping."""
+
+    def __init__(self) -> None:
+        self._index: dict = {}
+        self._names: list = []
+        self._frozen = False
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def add(self, name: str) -> int:
+        """Intern ``name``; returns its index (existing or new).
+
+        On a frozen vocabulary unknown names return ``-1``.
+        """
+        idx = self._index.get(name)
+        if idx is not None:
+            return idx
+        if self._frozen:
+            return -1
+        idx = len(self._names)
+        self._index[name] = idx
+        self._names.append(name)
+        return idx
+
+    def index_of(self, name: str) -> int:
+        """Index of ``name`` or ``-1`` if unknown (never grows)."""
+        return self._index.get(name, -1)
+
+    def name_of(self, idx: int) -> str:
+        return self._names[idx]
+
+    def freeze(self) -> "Vocabulary":
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def encode(self, names) -> list:
+        """Indexes for ``names``, dropping unknowns when frozen."""
+        out = []
+        for name in names:
+            idx = self.add(name)
+            if idx >= 0:
+                out.append(idx)
+        return out

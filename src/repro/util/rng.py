@@ -1,0 +1,46 @@
+"""Random-number-generator plumbing.
+
+Every stochastic component in the library accepts a ``seed`` argument that
+may be ``None`` (fresh entropy), an ``int`` (deterministic), or an existing
+:class:`numpy.random.Generator` (shared stream).  Centralising the
+conversion here keeps experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+Seed = "int | np.random.Generator | None"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged so that callers can
+    thread one stream through a pipeline of components.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used when an experiment runs several strategies that must not perturb
+    each other's random streams (e.g. Rerun vs. Incremental comparisons).
+    """
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(count)]
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created private generator."""
+
+    def _init_rng(self, seed=None) -> None:
+        self._rng = as_generator(seed)
+
+    @property
+    def rng(self) -> np.random.Generator:
+        if not hasattr(self, "_rng"):
+            self._rng = as_generator(None)
+        return self._rng

@@ -1,0 +1,53 @@
+"""Distributional statistics used across tests and experiments.
+
+The paper compares distributions via total variation distance (App. A) and
+tunes the variational regularizer by KL divergence (§3.2.3); both live here
+together with marginal-error helpers used to assert sampler correctness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two discrete distributions.
+
+    ``p`` and ``q`` are probability vectors over the same sample space.
+    """
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def kl_divergence_bernoulli(p: np.ndarray, q: np.ndarray, eps: float = 1e-9) -> float:
+    """Mean KL(Ber(p_i) || Ber(q_i)) across a vector of marginals.
+
+    This is the quantity DeepDive's λ-search protocol thresholds when
+    choosing the variational regularization parameter.
+    """
+    p = np.clip(np.asarray(p, dtype=float), eps, 1.0 - eps)
+    q = np.clip(np.asarray(q, dtype=float), eps, 1.0 - eps)
+    kl = p * np.log(p / q) + (1.0 - p) * np.log((1.0 - p) / (1.0 - q))
+    return float(kl.mean())
+
+
+def max_marginal_error(p: np.ndarray, q: np.ndarray) -> float:
+    """Largest absolute difference between two marginal vectors."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"shape mismatch: {p.shape} vs {q.shape}")
+    if p.size == 0:
+        return 0.0
+    return float(np.abs(p - q).max())
+
+
+def empirical_marginals(samples: np.ndarray) -> np.ndarray:
+    """Per-variable P(X=1) estimated from a (num_samples, num_vars) array."""
+    samples = np.asarray(samples)
+    if samples.ndim != 2:
+        raise ValueError("samples must be 2-D (num_samples, num_vars)")
+    return samples.mean(axis=0).astype(float)

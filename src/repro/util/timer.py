@@ -1,0 +1,35 @@
+"""Wall-clock timing helpers used by the benchmark harnesses."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    500500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+    def restart(self) -> None:
+        """Reset the start point (for incremental laps)."""
+        self._start = time.perf_counter()
+
+    def lap(self) -> float:
+        """Seconds since construction or last :meth:`restart`."""
+        return time.perf_counter() - self._start

@@ -1,0 +1,35 @@
+"""Evaluation workloads.
+
+* :mod:`~repro.workloads.systems` — the five KBC systems of Figure 7
+  (News, Genomics, Adversarial, Pharmacogenomics, Paleontology), scaled
+  to laptop size with per-system noise/shape knobs preserving the
+  qualitative differences §4.1 describes.
+* :mod:`~repro.workloads.voting` — the voting programs of Ex. 2.5 /
+  Appendix A.
+* :mod:`~repro.workloads.synthetic` — synthetic pairwise graphs and
+  calibrated deltas for the §3.2.4 tradeoff study.
+"""
+
+from repro.workloads.synthetic import (
+    delta_with_acceptance,
+    random_delta_factors,
+    synthetic_pairwise_graph,
+)
+from repro.workloads.systems import (
+    ALL_SYSTEMS,
+    WorkloadSpec,
+    build_pipeline,
+    workload_by_name,
+)
+from repro.workloads.voting import voting_program
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "WorkloadSpec",
+    "build_pipeline",
+    "delta_with_acceptance",
+    "random_delta_factors",
+    "synthetic_pairwise_graph",
+    "voting_program",
+    "workload_by_name",
+]

@@ -1,0 +1,159 @@
+"""Tests for the compiled incidence index and the Gibbs cache.
+
+The key invariant: ``delta_energy`` computed from the caches must equal
+the brute-force energy difference ``E(x|v=1) − E(x|v=0)``, for any graph,
+any state, any variable — hypothesis hammers this.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CompiledFactorGraph, FactorGraph, Semantics
+from repro.graph.compiled import GibbsCache
+
+from tests.helpers import (
+    chain_ising_graph,
+    implication_graph,
+    random_pairwise_graph,
+    voting_graph,
+)
+
+
+def brute_force_delta(graph, x, var):
+    x1 = x.copy()
+    x1[var] = True
+    x0 = x.copy()
+    x0[var] = False
+    return graph.energy(x1) - graph.energy(x0)
+
+
+def random_rule_graph(seed: int, num_vars: int = 6, num_factors: int = 8) -> FactorGraph:
+    """Random graph mixing all three factor kinds and semantics."""
+    rng = np.random.default_rng(seed)
+    fg = FactorGraph()
+    variables = [fg.add_variable() for _ in range(num_vars)]
+    semantics = list(Semantics)
+    for k in range(num_factors):
+        wid = fg.weights.intern(("w", k), initial=float(rng.normal(0, 1)))
+        kind = rng.integers(0, 3)
+        if kind == 0:
+            fg.add_bias_factor(wid, int(rng.integers(num_vars)))
+        elif kind == 1:
+            i, j = rng.choice(num_vars, size=2, replace=False)
+            fg.add_ising_factor(wid, int(i), int(j))
+        else:
+            head = int(rng.integers(num_vars))
+            groundings = []
+            for _ in range(int(rng.integers(1, 4))):
+                size = int(rng.integers(1, 4))
+                lits = [
+                    (int(rng.integers(num_vars)), bool(rng.integers(2)))
+                    for _ in range(size)
+                ]
+                groundings.append(lits)
+            fg.add_rule_factor(
+                wid, head, groundings, semantics[int(rng.integers(3))]
+            )
+    return fg
+
+
+class TestCompiledStructure:
+    def test_incidences_cover_all_factors(self):
+        fg = implication_graph()
+        compiled = CompiledFactorGraph(fg)
+        # Variable q (0) is head of the single rule factor.
+        assert compiled.head_of[0] == [0]
+        # a, b, c appear in bodies.
+        assert {inc[0] for inc in compiled.body_of[1]} == {0}
+        assert len(compiled.body_of[2]) == 2  # b occurs in both groundings
+
+    def test_self_loop_rule_goes_to_slow_path(self):
+        fg = FactorGraph()
+        q = fg.add_variable()
+        wid = fg.weights.intern("w", initial=1.0)
+        fg.add_rule_factor(wid, q, [[(q, True)]], Semantics.LOGICAL)
+        compiled = CompiledFactorGraph(fg)
+        assert 0 in compiled.slow_factors
+        assert not compiled.rule_factors
+
+    def test_duplicate_var_in_grounding_goes_to_slow_path(self):
+        fg = FactorGraph()
+        q = fg.add_variable()
+        a = fg.add_variable()
+        wid = fg.weights.intern("w", initial=1.0)
+        fg.add_rule_factor(wid, q, [[(a, True), (a, False)]], Semantics.LOGICAL)
+        compiled = CompiledFactorGraph(fg)
+        assert 0 in compiled.slow_factors
+
+    def test_degree(self):
+        fg = chain_ising_graph(4)
+        compiled = CompiledFactorGraph(fg)
+        assert compiled.degree(0) == 2  # one coupling + one bias
+        assert compiled.degree(1) == 3
+
+    def test_free_vars_exclude_evidence(self):
+        fg = chain_ising_graph(4)
+        fg.set_evidence(1, True)
+        compiled = CompiledFactorGraph(fg)
+        assert 1 not in compiled.free_vars.tolist()
+
+
+class TestGibbsCacheCorrectness:
+    @given(st.integers(min_value=0, max_value=500), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_delta_energy_matches_brute_force(self, seed, data):
+        fg = random_rule_graph(seed)
+        compiled = CompiledFactorGraph(fg)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.random(fg.num_vars) < 0.5
+        cache = GibbsCache(compiled, x)
+        var = data.draw(st.integers(min_value=0, max_value=fg.num_vars - 1))
+        assert cache.delta_energy(var, x) == pytest.approx(
+            brute_force_delta(fg, x, var), abs=1e-9
+        )
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=40, deadline=None)
+    def test_cache_stays_consistent_under_flips(self, seed):
+        fg = random_rule_graph(seed)
+        compiled = CompiledFactorGraph(fg)
+        rng = np.random.default_rng(seed)
+        x = rng.random(fg.num_vars) < 0.5
+        cache = GibbsCache(compiled, x)
+        for _ in range(30):
+            var = int(rng.integers(fg.num_vars))
+            new_value = bool(rng.integers(2))
+            cache.commit_flip(var, new_value, x)
+            assert x[var] == new_value
+        cache.check_consistency(x)
+
+    def test_flip_to_same_value_is_noop(self):
+        fg = voting_graph(2, 2)
+        compiled = CompiledFactorGraph(fg)
+        x = np.zeros(fg.num_vars, dtype=bool)
+        cache = GibbsCache(compiled, x)
+        cache.commit_flip(1, False, x)
+        cache.check_consistency(x)
+
+    def test_delta_energy_after_many_flips(self):
+        fg = random_rule_graph(99, num_vars=8, num_factors=12)
+        compiled = CompiledFactorGraph(fg)
+        rng = np.random.default_rng(7)
+        x = rng.random(fg.num_vars) < 0.5
+        cache = GibbsCache(compiled, x)
+        for _ in range(50):
+            var = int(rng.integers(fg.num_vars))
+            cache.commit_flip(var, bool(rng.integers(2)), x)
+        for var in range(fg.num_vars):
+            assert cache.delta_energy(var, x) == pytest.approx(
+                brute_force_delta(fg, x, var), abs=1e-9
+            )
+
+    def test_pairwise_graph_has_no_rule_state(self):
+        fg = random_pairwise_graph(10, seed=3)
+        compiled = CompiledFactorGraph(fg)
+        x = np.zeros(10, dtype=bool)
+        cache = GibbsCache(compiled, x)
+        assert not cache.unsat and not cache.nsat

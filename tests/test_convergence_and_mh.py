@@ -1,0 +1,101 @@
+"""Tests for convergence measurement and MH edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.graph import FactorGraphDelta, Semantics
+from repro.inference import IndependentMH
+from repro.inference.convergence import sweeps_to_marginal
+from repro.inference.exact import ExactInference
+from repro.workloads import voting_program
+
+from tests.helpers import chain_ising_graph
+
+
+class TestConvergenceMeasurement:
+    def test_easy_graph_converges_quickly(self):
+        fg = chain_ising_graph(4, coupling=0.2, bias=0.0)
+        result = sweeps_to_marginal(
+            fg, var=0, target=0.5, tol=0.15, num_chains=16, max_sweeps=200,
+            seed=0,
+        )
+        assert result["converged"]
+        assert result["sweeps"] < 200
+        assert result["variable_updates"] == result["sweeps"] * 4
+
+    def test_unreachable_target_hits_cap(self):
+        fg = chain_ising_graph(3, coupling=0.0, bias=3.0)
+        result = sweeps_to_marginal(
+            fg, var=0, target=0.0, tol=0.01, num_chains=8, max_sweeps=20,
+            seed=0,
+        )
+        assert not result["converged"]
+        assert result["sweeps"] == 20
+
+    def test_linear_voting_slower_than_ratio(self):
+        """The Fig. 13 contrast at small scale, from worst-case starts."""
+        n = 12
+        worst = np.zeros(1 + 2 * n, dtype=bool)
+        worst[: 1 + n] = True
+        results = {}
+        for sem in (Semantics.LINEAR, Semantics.RATIO):
+            fg = voting_program(n, n, semantics=sem)
+            results[sem] = sweeps_to_marginal(
+                fg, var=0, target=0.5, tol=0.06, num_chains=32,
+                max_sweeps=500, seed=1, initial=worst,
+            )
+        assert (
+            results[Semantics.LINEAR]["sweeps"]
+            >= results[Semantics.RATIO]["sweeps"]
+        )
+
+
+class TestIndependentMHEdgeCases:
+    def test_shape_validation(self):
+        fg = chain_ising_graph(3)
+        with pytest.raises(ValueError):
+            IndependentMH(fg, FactorGraphDelta(), np.zeros((5, 7), dtype=bool))
+
+    def test_zero_steps(self):
+        fg = chain_ising_graph(3)
+        samples = np.zeros((10, 3), dtype=bool)
+        mh = IndependentMH(fg, FactorGraphDelta(), samples, seed=0)
+        result = mh.run(0)
+        assert result.proposals_used == 0
+        # Asking for zero steps is not exhaustion: samples remain.
+        assert not result.exhausted
+
+    def test_keep_chain_shape(self):
+        fg = chain_ising_graph(3)
+        samples = np.zeros((10, 3), dtype=bool)
+        mh = IndependentMH(fg, FactorGraphDelta(), samples, seed=0)
+        result = mh.run(5, keep_chain=True)
+        assert result.chain.shape == (5, 3)
+
+    def test_contradictory_evidence_rejects_proposals(self):
+        """Samples all-false; delta clamps a var true: proposals violate
+        the evidence so only the (forced) initial state survives."""
+        fg = chain_ising_graph(3, coupling=0.0, bias=0.0)
+        samples = np.zeros((50, 3), dtype=bool)
+        delta = FactorGraphDelta(evidence_updates={0: True})
+        mh = IndependentMH(fg, delta, samples, seed=0)
+        result = mh.run(50)
+        assert result.acceptance_rate == 0.0
+        assert result.marginals[0] == 1.0  # forced initial state kept
+
+    def test_converges_to_updated_distribution_given_good_bundle(self):
+        fg = chain_ising_graph(5, coupling=0.4, bias=0.1)
+        from repro.inference import GibbsSampler
+
+        bundle = GibbsSampler(fg, seed=0).sample_worlds(3000, burn_in=100)
+        delta = FactorGraphDelta()
+        delta.new_weight_entries.append(("b", 0.8, False))
+        from repro.graph import BiasFactor
+
+        delta.new_factors.append(
+            BiasFactor(weight_id=len(fg.weights), var=2)
+        )
+        mh = IndependentMH(fg, delta, bundle, seed=1)
+        result = mh.run(3000)
+        exact = ExactInference(delta.apply(fg)).marginals()
+        assert np.abs(result.marginals - exact).max() < 0.08

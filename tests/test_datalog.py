@@ -1,0 +1,245 @@
+"""Tests for the DeepDive language layer: AST, program, parser."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    DerivationRule,
+    InferenceRule,
+    Program,
+    Var,
+    WeightSpec,
+    parse_program,
+)
+from repro.datalog.parser import ParseError
+from repro.graph import Semantics
+
+
+class TestWeightSpec:
+    def test_tied_key(self):
+        spec = WeightSpec(tied_on=("f",))
+        assert spec.key_for("fe1", {"f": "and his wife"}) == (
+            "fe1",
+            ("and his wife",),
+        )
+
+    def test_untied_key_is_rule_global(self):
+        spec = WeightSpec(value=1.5, fixed=True)
+        assert spec.key_for("i1", {"x": 1}) == ("i1", ())
+
+
+class TestRuleValidation:
+    def test_unsafe_derivation_rule_rejected(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            DerivationRule(
+                name="bad",
+                head=Atom("H", (Var("x"), Var("y"))),
+                body=(Atom("B", (Var("x"),)),),
+            )
+
+    def test_udf_may_bind_head_vars(self):
+        rule = DerivationRule(
+            name="feat",
+            head=Atom("F", (Var("x"), Var("f"))),
+            body=(Atom("B", (Var("x"),)),),
+            udf=lambda b: [{"f": f"f_{b['x']}"}],
+        )
+        assert list(rule.expanded_bindings({"x": 1})) == [{"x": 1, "f": "f_1"}]
+
+    def test_inference_rule_unbound_head_rejected(self):
+        with pytest.raises(ValueError, match="head variables"):
+            InferenceRule(
+                name="bad",
+                head=Atom("Q", (Var("z"),)),
+                body=(Atom("B", (Var("x"),)),),
+            )
+
+    def test_inference_rule_unbound_weight_var_rejected(self):
+        with pytest.raises(ValueError, match="weight tied"):
+            InferenceRule(
+                name="bad",
+                head=Atom("Q", (Var("x"),)),
+                body=(Atom("B", (Var("x"),)),),
+                weight=WeightSpec(tied_on=("nope",)),
+            )
+
+    def test_head_tuple_instantiation(self):
+        rule = DerivationRule(
+            name="s1",
+            head=Atom("Q_Ev", (Var("m"), True)),
+            body=(Atom("B", (Var("m"),)),),
+        )
+        assert rule.head_tuple({"m": "m1"}) == ("m1", True)
+
+
+class TestProgram:
+    def test_declare_variable_creates_ev_relation(self):
+        program = Program()
+        program.declare_variable_relation("Q", ("a",))
+        assert "Q_Ev" in program.schema
+        assert program.schema["Q_Ev"] == ("a", "label")
+
+    def test_duplicate_relation_rejected(self):
+        program = Program()
+        program.add_relation("R", ("a",))
+        with pytest.raises(ValueError):
+            program.add_relation("R", ("b",))
+
+    def test_rule_arity_checked(self):
+        program = Program()
+        program.add_relation("R", ("a", "b"))
+        program.add_relation("H", ("a",))
+        with pytest.raises(ValueError, match="arity"):
+            program.add_derivation_rule(
+                "bad", Atom("H", (Var("x"),)), [Atom("R", (Var("x"),))]
+            )
+
+    def test_undeclared_relation_rejected(self):
+        program = Program()
+        program.add_relation("H", ("a",))
+        with pytest.raises(ValueError, match="undeclared"):
+            program.add_derivation_rule(
+                "bad", Atom("H", (Var("x"),)), [Atom("Nope", (Var("x"),))]
+            )
+
+    def test_inference_head_must_be_variable_relation(self):
+        program = Program()
+        program.add_relation("R", ("a",))
+        with pytest.raises(ValueError, match="variable relation"):
+            program.add_inference_rule(
+                "bad", Atom("R", (Var("x"),)), [Atom("R", (Var("x"),))]
+            )
+
+    def test_stratification_orders_dependencies(self):
+        program = Program()
+        program.add_relation("A", ("x",))
+        program.add_relation("B", ("x",))
+        program.add_relation("C", ("x",))
+        # Deliberately added in reverse dependency order.
+        program.add_derivation_rule("c", Atom("C", (Var("x"),)), [Atom("B", (Var("x"),))])
+        program.add_derivation_rule("b", Atom("B", (Var("x"),)), [Atom("A", (Var("x"),))])
+        names = [r.name for r in program.stratified_derivation_rules()]
+        assert names.index("b") < names.index("c")
+
+    def test_recursion_rejected(self):
+        program = Program()
+        program.add_relation("A", ("x",))
+        program.add_derivation_rule("r", Atom("A", (Var("x"),)), [Atom("A", (Var("x"),))])
+        with pytest.raises(ValueError, match="recursive"):
+            program.stratified_derivation_rules()
+
+    def test_base_relations(self):
+        program = Program()
+        program.add_relation("A", ("x",))
+        program.add_relation("B", ("x",))
+        program.add_derivation_rule("b", Atom("B", (Var("x"),)), [Atom("A", (Var("x"),))])
+        assert program.base_relations() == {"A"}
+
+    def test_remove_inference_rule(self):
+        program = Program()
+        program.declare_variable_relation("Q", ("x",))
+        program.add_inference_rule("r", Atom("Q", (Var("x"),)), [Atom("Q", (Var("x"),))])
+        program.remove_inference_rule("r")
+        assert not program.inference_rules
+        with pytest.raises(KeyError):
+            program.remove_inference_rule("r")
+
+    def test_default_semantics_applied(self):
+        program = Program(default_semantics="logical")
+        program.declare_variable_relation("Q", ("x",))
+        rule = program.add_inference_rule(
+            "r", Atom("Q", (Var("x"),)), [Atom("Q", (Var("x"),))]
+        )
+        assert program.semantics_of(rule) is Semantics.LOGICAL
+        rule2 = program.add_inference_rule(
+            "r2",
+            Atom("Q", (Var("x"),)),
+            [Atom("Q", (Var("x"),))],
+            semantics="linear",
+        )
+        assert program.semantics_of(rule2) is Semantics.LINEAR
+
+
+SPOUSE_TEXT = """
+# The running example of the paper (Fig. 2).
+relation PersonCandidate(s, m).
+relation PhraseFeature(m1, m2, f).
+variable MarriedMentions(m1, m2).
+
+candidates: MarriedCandidate(m1, m2) :-
+    PersonCandidate(s, m1), PersonCandidate(s, m2).
+
+vars: MarriedMentions(m1, m2) :- MarriedCandidate(m1, m2).
+
+fe1: MarriedMentions(m1, m2) :-
+    MarriedCandidate(m1, m2), PhraseFeature(m1, m2, f)
+    weight = tied(f) semantics = ratio.
+
+i1: MarriedMentions(m2, m1) :- MarriedMentions(m1, m2)
+    weight = 1.5 fixed.
+"""
+
+
+class TestParser:
+    def test_parses_spouse_program(self):
+        # MarriedCandidate is derived, so it must be declared too.
+        text = "relation MarriedCandidate(m1, m2).\n" + SPOUSE_TEXT
+        program = parse_program(text)
+        assert "MarriedMentions" in program.variable_relations
+        assert len(program.derivation_rules) == 2
+        assert len(program.inference_rules) == 2
+        fe1 = next(r for r in program.inference_rules if r.name == "fe1")
+        assert fe1.weight.tied_on == ("f",)
+        assert fe1.semantics is Semantics.RATIO
+        i1 = next(r for r in program.inference_rules if r.name == "i1")
+        assert i1.weight.fixed and i1.weight.value == 1.5
+
+    def test_constants_in_atoms(self):
+        program = parse_program(
+            'relation R(a, b).\nrelation H(a).\n'
+            'r: H(x) :- R(x, "const").\n'
+            "r2: H(x) :- R(x, 42).\n"
+            "r3: H(x) :- R(x, true).\n"
+        )
+        bodies = [rule.body[0].args[1] for rule in program.derivation_rules]
+        assert bodies == ["const", 42, True]
+
+    def test_float_weight_does_not_split_statement(self):
+        program = parse_program(
+            "variable Q(x).\n"
+            "r: Q(x) :- Q(x) weight = 0.25.\n"
+        )
+        assert program.inference_rules[0].weight.value == 0.25
+
+    def test_negation_marker(self):
+        program = parse_program(
+            "variable Q(x).\nrelation R(x).\n"
+            "r: Q(x) :- R(x), !Q(x) weight = 1.0.\n"
+        )
+        rule = program.inference_rules[0]
+        assert rule.negated_positions == frozenset({1})
+
+    def test_negation_in_derivation_rule_rejected(self):
+        with pytest.raises(ParseError, match="negation"):
+            parse_program(
+                "relation R(x).\nrelation H(x).\n"
+                "r: H(x) :- R(x), !R(x).\n"
+            )
+
+    def test_unterminated_statement(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_program("relation R(a)")
+
+    def test_bad_character(self):
+        with pytest.raises(ParseError):
+            parse_program("relation R(a) @.")
+
+    def test_comments_stripped(self):
+        program = parse_program("# hello\nrelation R(a). # trailing\n")
+        assert "R" in program.schema
+
+    def test_anonymous_rule_gets_name(self):
+        program = parse_program(
+            "relation R(x).\nrelation H(x).\nH(x) :- R(x).\n"
+        )
+        assert program.derivation_rules[0].name

@@ -1,0 +1,191 @@
+"""Tests for FactorGraphDelta: application, classification, composition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import BiasFactor, FactorGraph, FactorGraphDelta, IsingFactor
+from repro.graph.delta import compose_deltas
+from repro.graph.delta_energy import DeltaEvaluator
+
+from tests.helpers import chain_ising_graph, random_pairwise_graph
+
+
+def bias_factor_for(graph, var, weight, key):
+    wid = graph.weights.intern(key, initial=weight)
+    return BiasFactor(weight_id=wid, var=var)
+
+
+class TestDeltaApply:
+    def test_add_variables_and_factors(self):
+        fg = chain_ising_graph(3)
+        delta = FactorGraphDelta(num_new_vars=2, new_var_names=["a", "b"])
+        delta.new_weight_entries.append(("new", 0.5, False))
+        wid = len(fg.weights)
+        delta.new_factors.append(BiasFactor(weight_id=wid, var=3))
+        delta.new_factors.append(IsingFactor(weight_id=wid, i=3, j=4))
+        updated = delta.apply(fg)
+        assert updated.num_vars == 5
+        assert updated.num_factors == fg.num_factors + 2
+        assert updated.name_of(3) == "a"
+        assert fg.num_vars == 3  # base untouched
+
+    def test_remove_factors(self):
+        fg = chain_ising_graph(3)
+        delta = FactorGraphDelta(removed_factor_ids={0})
+        updated = delta.apply(fg)
+        assert updated.num_factors == fg.num_factors - 1
+
+    def test_evidence_updates(self):
+        fg = chain_ising_graph(3)
+        fg.set_evidence(0, True)
+        delta = FactorGraphDelta(evidence_updates={0: None, 1: False})
+        updated = delta.apply(fg)
+        assert not updated.is_evidence(0)
+        assert updated.evidence_value(1) is False
+
+    def test_new_var_evidence(self):
+        fg = chain_ising_graph(2)
+        delta = FactorGraphDelta(num_new_vars=1, new_var_evidence={0: True})
+        updated = delta.apply(fg)
+        assert updated.evidence_value(2) is True
+
+    def test_weight_changes(self):
+        fg = chain_ising_graph(2, coupling=0.5)
+        delta = FactorGraphDelta(changed_weight_values={0: 2.0})
+        updated = delta.apply(fg)
+        assert updated.weights.value(0) == 2.0
+        assert fg.weights.value(0) == 0.5
+
+    def test_classification_flags(self):
+        assert FactorGraphDelta().is_empty
+        assert FactorGraphDelta(num_new_vars=1).changes_structure
+        assert FactorGraphDelta(evidence_updates={0: True}).changes_evidence
+        assert FactorGraphDelta(
+            new_weight_entries=[("k", 0.0, False)]
+        ).adds_features
+        assert not FactorGraphDelta(evidence_updates={0: True}).changes_structure
+
+    def test_index_mapping(self):
+        delta = FactorGraphDelta(removed_factor_ids={1, 3})
+        mapping = delta.index_mapping(5)
+        assert mapping == {0: 0, 2: 1, 4: 2}
+
+
+class TestDeltaEvaluator:
+    def test_delta_energy_matches_graph_difference(self):
+        fg = chain_ising_graph(4, coupling=0.7, bias=0.2)
+        delta = FactorGraphDelta(removed_factor_ids={0})
+        delta.new_weight_entries.append(("extra", 1.1, False))
+        delta.new_factors.append(BiasFactor(weight_id=len(fg.weights), var=2))
+        evaluator = DeltaEvaluator(fg, delta)
+        updated = delta.apply(fg)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            world = rng.random(4) < 0.5
+            assert evaluator.delta_energy(world) == pytest.approx(
+                updated.energy(world) - fg.energy(world)
+            )
+
+    def test_delta_energy_with_new_vars(self):
+        fg = chain_ising_graph(2, coupling=0.5, bias=0.0)
+        delta = FactorGraphDelta(num_new_vars=1)
+        delta.new_weight_entries.append(("J", 0.9, False))
+        delta.new_factors.append(IsingFactor(weight_id=len(fg.weights), i=1, j=2))
+        evaluator = DeltaEvaluator(fg, delta)
+        updated = delta.apply(fg)
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            world = rng.random(3) < 0.5
+            base_world = world[:2]
+            assert evaluator.delta_energy(world) == pytest.approx(
+                updated.energy(world) - fg.energy(base_world)
+            )
+
+    def test_reweighted_factor_shift(self):
+        fg = chain_ising_graph(2, coupling=0.5, bias=0.3)
+        delta = FactorGraphDelta(changed_weight_values={0: 1.5})
+        evaluator = DeltaEvaluator(fg, delta)
+        updated = delta.apply(fg)
+        world = np.array([True, False])
+        assert evaluator.delta_energy(world) == pytest.approx(
+            updated.energy(world) - fg.energy(world)
+        )
+
+    def test_evidence_violation_detected(self):
+        fg = chain_ising_graph(2)
+        delta = FactorGraphDelta(evidence_updates={0: True})
+        evaluator = DeltaEvaluator(fg, delta)
+        assert evaluator.violates_evidence(np.array([False, True]))
+        assert not evaluator.violates_evidence(np.array([True, False]))
+        assert evaluator.log_density_ratio(np.array([False, True])) == float(
+            "-inf"
+        )
+
+    def test_extend_world_respects_new_evidence(self):
+        fg = chain_ising_graph(2)
+        delta = FactorGraphDelta(num_new_vars=2, new_var_evidence={1: True})
+        evaluator = DeltaEvaluator(fg, delta)
+        rng = np.random.default_rng(0)
+        world = evaluator.extend_world(np.array([True, False]), rng)
+        assert len(world) == 4
+        assert world[3] == True  # noqa: E712 — clamped new var
+
+
+def random_delta(fg, seed):
+    """A random delta against ``fg`` touching several dimensions."""
+    rng = np.random.default_rng(seed)
+    delta = FactorGraphDelta()
+    if rng.random() < 0.6 and fg.num_factors:
+        delta.removed_factor_ids = set(
+            int(i)
+            for i in rng.choice(
+                fg.num_factors, size=min(2, fg.num_factors), replace=False
+            )
+        )
+    delta.num_new_vars = int(rng.integers(0, 3))
+    next_wid = len(fg.weights)
+    if rng.random() < 0.8:
+        delta.new_weight_entries.append((("w", seed), float(rng.normal()), False))
+        var = int(rng.integers(fg.num_vars + delta.num_new_vars))
+        delta.new_factors.append(BiasFactor(weight_id=next_wid, var=var))
+    if rng.random() < 0.5:
+        delta.evidence_updates[int(rng.integers(fg.num_vars))] = bool(
+            rng.integers(2)
+        )
+    if rng.random() < 0.4:
+        delta.changed_weight_values[int(rng.integers(len(fg.weights)))] = float(
+            rng.normal()
+        )
+    return delta
+
+
+class TestComposition:
+    @given(st.integers(0, 200))
+    @settings(max_examples=40, deadline=None)
+    def test_composed_equals_sequential(self, seed):
+        """base ⊕ compose(d1, d2) == (base ⊕ d1) ⊕ d2."""
+        base = random_pairwise_graph(5, density=0.4, seed=seed)
+        d1 = random_delta(base, seed * 2 + 1)
+        mid = d1.apply(base)
+        d2 = random_delta(mid, seed * 2 + 2)
+        final_sequential = d2.apply(mid)
+        composed = compose_deltas(base, d1, d2)
+        final_composed = composed.apply(base)
+
+        assert final_composed.num_vars == final_sequential.num_vars
+        assert final_composed.evidence == final_sequential.evidence
+        rng = np.random.default_rng(seed)
+        for _ in range(10):
+            world = rng.random(final_sequential.num_vars) < 0.5
+            assert final_composed.energy(world) == pytest.approx(
+                final_sequential.energy(world), abs=1e-9
+            )
+
+    def test_composed_classification_is_union(self):
+        base = chain_ising_graph(3)
+        d1 = FactorGraphDelta(evidence_updates={0: True})
+        d2 = FactorGraphDelta(num_new_vars=1)
+        composed = compose_deltas(base, d1, d2)
+        assert composed.changes_evidence and composed.changes_structure

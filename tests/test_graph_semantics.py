@@ -1,0 +1,68 @@
+"""Unit tests for the Figure 4 semantics functions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graph.semantics import Semantics, g_array, g_value
+
+
+class TestGValue:
+    def test_linear_is_identity(self):
+        for n in range(10):
+            assert g_value(Semantics.LINEAR, n) == float(n)
+
+    def test_ratio_is_log1p(self):
+        assert g_value(Semantics.RATIO, 0) == 0.0
+        assert g_value(Semantics.RATIO, 1) == pytest.approx(math.log(2))
+        assert g_value(Semantics.RATIO, 9) == pytest.approx(math.log(10))
+
+    def test_logical_is_indicator(self):
+        assert g_value(Semantics.LOGICAL, 0) == 0.0
+        assert g_value(Semantics.LOGICAL, 1) == 1.0
+        assert g_value(Semantics.LOGICAL, 1000) == 1.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            g_value(Semantics.LINEAR, -1)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_all_semantics_nonnegative_and_monotone(self, n):
+        for sem in Semantics:
+            assert g_value(sem, n) >= 0.0
+            assert g_value(sem, n + 1) >= g_value(sem, n)
+
+    @given(st.integers(min_value=1, max_value=10_000))
+    def test_ordering_logical_le_ratio_le_linear(self, n):
+        # For n >= 1: 1{n>0} <= log(1+n) <= n (log(2) ~ 0.693 < 1 at n=1,
+        # so the chain holds only from the ratio/linear side).
+        assert g_value(Semantics.RATIO, n) <= g_value(Semantics.LINEAR, n)
+        assert g_value(Semantics.LOGICAL, n) == 1.0
+
+    def test_coerce_from_string(self):
+        assert Semantics.coerce("ratio") is Semantics.RATIO
+        assert Semantics.coerce("LOGICAL") is Semantics.LOGICAL
+        assert Semantics.coerce(Semantics.LINEAR) is Semantics.LINEAR
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            Semantics.coerce("quadratic")
+        with pytest.raises(TypeError):
+            Semantics.coerce(42)
+
+
+class TestGArray:
+    @given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=50))
+    def test_array_matches_scalar(self, counts):
+        arr = np.asarray(counts)
+        for sem in Semantics:
+            vec = g_array(sem, arr)
+            expected = [g_value(sem, int(n)) for n in counts]
+            assert np.allclose(vec, expected)
+
+    def test_array_dtype_is_float(self):
+        out = g_array(Semantics.LOGICAL, np.array([0, 1, 2]))
+        assert out.dtype == float

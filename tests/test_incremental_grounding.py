@@ -1,0 +1,298 @@
+"""Incremental grounding must be *semantically identical* to regrounding.
+
+The central invariant of §3.1: after any sequence of base-table updates
+and rule changes, the incrementally maintained factor graph equals the
+graph produced by grounding the final database from scratch.  Graphs are
+compared canonically (by tuple names, not variable ids).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import Atom, DerivationRule, InferenceRule, Program, Var, WeightSpec
+from repro.graph import FactorGraph, RuleFactor
+from repro.grounding import Grounder, IncrementalGrounder
+
+from tests.test_grounding import spouse_db, spouse_program
+
+
+def canonical_form(graph: FactorGraph) -> dict:
+    """Graph summary invariant to variable-id renumbering.
+
+    Removed (tombstoned) variables — clamped False with no factors —
+    are excluded so that incrementally maintained graphs compare equal
+    to freshly grounded ones.
+    """
+    touched = set()
+    for factor in graph.factors:
+        touched.update(factor.variables())
+
+    def name(v):
+        n = graph.name_of(v)
+        return n if n is not None else ("_anon", v)
+
+    variables = set()
+    evidence = {}
+    for v in range(graph.num_vars):
+        is_tombstone = (
+            v not in touched and graph.evidence_value(v) is False
+        )
+        if is_tombstone:
+            continue
+        variables.add(name(v))
+        if graph.is_evidence(v):
+            evidence[name(v)] = graph.evidence_value(v)
+
+    factors = {}
+    for factor in graph.factors:
+        if not isinstance(factor, RuleFactor):
+            raise TypeError("canonical_form only supports rule factors")
+        key = graph.weights.key_for(factor.weight_id)
+        groundings = tuple(
+            sorted(
+                tuple(sorted((name(v), pos) for v, pos in g))
+                for g in factor.groundings
+            )
+        )
+        sig = (key, name(factor.head), factor.semantics.value, groundings)
+        factors[sig] = factors.get(sig, 0) + 1
+    return {"variables": variables, "evidence": evidence, "factors": factors}
+
+
+def assert_equivalent(incremental: FactorGraph, scratch: FactorGraph):
+    a, b = canonical_form(incremental), canonical_form(scratch)
+    assert a["variables"] == b["variables"]
+    assert a["evidence"] == b["evidence"]
+    assert a["factors"] == b["factors"]
+
+
+def reground(program_factory, db_builder, updates):
+    """Apply ``updates`` incrementally AND from scratch; return both graphs."""
+    # Incremental path.
+    program_inc = program_factory()
+    db_inc = db_builder(program_inc)
+    grounder = IncrementalGrounder.from_scratch(program_inc, db_inc)
+    for update in updates:
+        grounder.apply_update(**update)
+
+    # From-scratch path: replay the data updates on a fresh db.
+    program_fresh = program_factory()
+    db_fresh = db_builder(program_fresh)
+    for update in updates:
+        for rule in update.get("add_derivation_rules", ()):
+            program_fresh.register_derivation_rule(rule)
+        for rule in update.get("add_inference_rules", ()):
+            program_fresh.register_inference_rule(rule)
+        for name in update.get("remove_inference_rules", ()):
+            program_fresh.remove_inference_rule(
+                getattr(name, "name", name)
+            )
+    for update in updates:
+        for rel, rows in (update.get("inserts") or {}).items():
+            for row in rows:
+                db_fresh.relation(rel).insert(row)
+        for rel, rows in (update.get("deletes") or {}).items():
+            for row in rows:
+                db_fresh.relation(rel).delete(row)
+    scratch = Grounder(program_fresh, db_fresh).ground()
+    return grounder.graph, scratch.graph
+
+
+class TestIncrementalMatchesScratch:
+    def test_insert_new_sentence(self):
+        incr, scratch = reground(
+            spouse_program,
+            spouse_db,
+            [
+                {
+                    "inserts": {
+                        "PersonCandidate": [("s3", "m5"), ("s3", "m6")],
+                        "PhraseFeature": [("m5", "m6", "and his wife")],
+                    }
+                }
+            ],
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_insert_new_feature_only(self):
+        incr, scratch = reground(
+            spouse_program,
+            spouse_db,
+            [{"inserts": {"PhraseFeature": [("m1", "m2", "were married")]}}],
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_new_supervision_data(self):
+        incr, scratch = reground(
+            spouse_program,
+            spouse_db,
+            [
+                {
+                    "inserts": {
+                        "EL": [("m3", "e_a"), ("m4", "e_b")],
+                        "Married": [("e_a", "e_b")],
+                    }
+                }
+            ],
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_delete_feature(self):
+        incr, scratch = reground(
+            spouse_program,
+            spouse_db,
+            [{"deletes": {"PhraseFeature": [("m3", "m4", "friend of")]}}],
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_delete_person_removes_variables(self):
+        incr, scratch = reground(
+            spouse_program,
+            spouse_db,
+            [{"deletes": {"PersonCandidate": [("s2", "m4")]}}],
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_add_inference_rule(self):
+        symmetry = InferenceRule(
+            name="i1",
+            head=Atom("MarriedMentions", (Var("m2"), Var("m1"))),
+            body=(Atom("MarriedMentions", (Var("m1"), Var("m2"))),),
+            weight=WeightSpec(value=1.5, fixed=True),
+            semantics="logical",
+        )
+        incr, scratch = reground(
+            spouse_program, spouse_db, [{"add_inference_rules": [symmetry]}]
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_remove_inference_rule(self):
+        incr, scratch = reground(
+            spouse_program, spouse_db, [{"remove_inference_rules": ["fe1"]}]
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_add_derivation_rule_cascades(self):
+        """A new supervision rule derives evidence from existing data."""
+        negatives = DerivationRule(
+            name="s2",
+            head=Atom("MarriedMentions_Ev", (Var("m1"), Var("m2"), False)),
+            body=(
+                Atom("MarriedCandidate", (Var("m1"), Var("m2"))),
+                Atom("EL", (Var("m1"), Var("e"))),
+                Atom("EL", (Var("m2"), Var("e"))),
+            ),
+        )
+        incr, scratch = reground(
+            spouse_program, spouse_db, [{"add_derivation_rules": [negatives]}]
+        )
+        assert_equivalent(incr, scratch)
+
+    def test_sequence_of_updates(self):
+        updates = [
+            {"inserts": {"PersonCandidate": [("s3", "m5"), ("s3", "m6")]}},
+            {"inserts": {"PhraseFeature": [("m5", "m6", "and his wife")]}},
+            {
+                "add_inference_rules": [
+                    InferenceRule(
+                        name="i1",
+                        head=Atom("MarriedMentions", (Var("m2"), Var("m1"))),
+                        body=(
+                            Atom("MarriedMentions", (Var("m1"), Var("m2"))),
+                        ),
+                        weight=WeightSpec(value=1.5, fixed=True),
+                    )
+                ]
+            },
+            {"deletes": {"PhraseFeature": [("m1", "m2", "and his wife")]}},
+            {
+                "inserts": {
+                    "EL": [("m5", "e_x"), ("m6", "e_y")],
+                    "Married": [("e_x", "e_y")],
+                }
+            },
+        ]
+        incr, scratch = reground(spouse_program, spouse_db, updates)
+        assert_equivalent(incr, scratch)
+
+    def test_evidence_flip_produces_update(self):
+        program = spouse_program()
+        db = spouse_db(program)
+        grounder = IncrementalGrounder.from_scratch(program, db)
+        vid = grounder.variable_of[("MarriedMentions", ("m3", "m4"))]
+        result = grounder.apply_update(
+            inserts={"MarriedMentions_Ev": [("m3", "m4", True)]}
+        )
+        assert result.delta.evidence_updates == {vid: True}
+        assert result.graph.evidence_value(vid) is True
+
+    def test_delta_classification_flags(self):
+        program = spouse_program()
+        db = spouse_db(program)
+        grounder = IncrementalGrounder.from_scratch(program, db)
+        # Pure supervision change: evidence but no structure.
+        r1 = grounder.apply_update(
+            inserts={"MarriedMentions_Ev": [("m3", "m4", False)]}
+        )
+        assert r1.delta.changes_evidence and not r1.delta.changes_structure
+        # New feature: structure + new weights.
+        r2 = grounder.apply_update(
+            inserts={"PhraseFeature": [("m1", "m2", "brand new feature")]}
+        )
+        assert r2.delta.changes_structure and r2.delta.adds_features
+
+    def test_empty_update_is_empty_delta(self):
+        program = spouse_program()
+        db = spouse_db(program)
+        grounder = IncrementalGrounder.from_scratch(program, db)
+        result = grounder.apply_update()
+        assert result.delta.is_empty
+
+
+@st.composite
+def update_sequences(draw):
+    """Random update sequences over a small universe."""
+    persons = [f"m{i}" for i in range(6)]
+    sentences = [f"s{i}" for i in range(3)]
+    features = ["fA", "fB", "fC"]
+    updates = []
+    for _ in range(draw(st.integers(1, 4))):
+        inserts, deletes = {}, {}
+        kind = draw(st.integers(0, 3))
+        if kind == 0:
+            inserts["PersonCandidate"] = [
+                (draw(st.sampled_from(sentences)), draw(st.sampled_from(persons)))
+            ]
+        elif kind == 1:
+            inserts["PhraseFeature"] = [
+                (
+                    draw(st.sampled_from(persons)),
+                    draw(st.sampled_from(persons)),
+                    draw(st.sampled_from(features)),
+                )
+            ]
+        elif kind == 2:
+            inserts["EL"] = [
+                (draw(st.sampled_from(persons)), draw(st.sampled_from(["e1", "e2"])))
+            ]
+            inserts["Married"] = [("e1", "e2")]
+        else:
+            deletes["PersonCandidate"] = [("s1", "m1")]
+        updates.append({"inserts": inserts or None, "deletes": deletes or None})
+    return updates
+
+
+class TestIncrementalProperty:
+    @given(update_sequences())
+    @settings(max_examples=25, deadline=None)
+    def test_random_update_sequences_match_scratch(self, updates):
+        # Deletions may target absent tuples; skip those sequences.
+        try:
+            incr, scratch = reground(spouse_program, spouse_db, updates)
+        except KeyError as err:
+            if "delete" in str(err):
+                return
+            raise
+        assert_equivalent(incr, scratch)
