@@ -7,6 +7,7 @@ and saves them under ``benchmark_results/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
@@ -18,6 +19,18 @@ def emit(experiment_id: str, text: str) -> None:
     print(banner + text + "\n")
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{experiment_id}.txt").write_text(text + "\n")
+
+
+def emit_json(experiment_id: str, record) -> None:
+    """Print a JSON record and persist it to benchmark_results/<id>.json.
+
+    Used by throughput benchmarks whose results are tracked across PRs as
+    machine-readable trajectories rather than figure tables.
+    """
+    text = json.dumps(record, indent=2, sort_keys=True)
+    print(f"\n===== {experiment_id} =====\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{experiment_id}.json").write_text(text + "\n")
 
 
 def once(benchmark, fn):

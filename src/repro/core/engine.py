@@ -198,8 +198,8 @@ class IncrementalEngine:
 
     def _clamp(self, marginals: np.ndarray) -> np.ndarray:
         marginals = np.asarray(marginals, dtype=float).copy()
-        for var, value in self.current_graph.evidence.items():
-            marginals[var] = 1.0 if value else 0.0
+        ev_vars, ev_vals = self.current_graph.evidence_arrays()
+        marginals[ev_vars] = np.where(ev_vals, 1.0, 0.0)
         return marginals
 
 
@@ -218,8 +218,8 @@ class RerunEngine:
         marginals = sampler.estimate_marginals(
             self.config.inference_samples, burn_in=self.config.burn_in
         )
-        for var, value in self.current_graph.evidence.items():
-            marginals[var] = 1.0 if value else 0.0
+        ev_vars, ev_vals = self.current_graph.evidence_arrays()
+        marginals[ev_vars] = np.where(ev_vals, 1.0, 0.0)
         return InferenceOutcome(
             marginals=marginals,
             strategy="rerun",

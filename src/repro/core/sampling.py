@@ -15,25 +15,26 @@ import time
 
 import numpy as np
 
+from repro.graph.compiled import CompiledFactorGraph
 from repro.graph.delta import FactorGraphDelta
-from repro.graph.factor_graph import BiasFactor, FactorGraph, IsingFactor
+from repro.graph.factor_graph import FactorGraph
 from repro.inference.chromatic import ChromaticGibbsSampler
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.metropolis import IndependentMH, MHResult
 from repro.util.rng import as_generator
 
 
-def _is_pairwise(graph: FactorGraph) -> bool:
-    return all(
-        isinstance(f, (BiasFactor, IsingFactor)) for f in graph.factors
-    )
+def make_sampler(graph: FactorGraph, seed=None, compiled=None):
+    """The fastest applicable sampler: chromatic for pairwise graphs.
 
-
-def make_sampler(graph: FactorGraph, seed=None):
-    """The fastest applicable sampler: chromatic for pairwise graphs."""
-    if graph.num_vars and _is_pairwise(graph):
-        return ChromaticGibbsSampler(graph, seed=seed)
-    return GibbsSampler(graph, seed=seed)
+    Passing an existing :class:`CompiledFactorGraph` skips recompilation
+    (callers that sample the same graph repeatedly should reuse one).
+    """
+    if compiled is None:
+        compiled = CompiledFactorGraph(graph)
+    if graph.num_vars and compiled.is_pairwise:
+        return ChromaticGibbsSampler(graph, seed=seed, compiled=compiled)
+    return GibbsSampler(graph, seed=seed, compiled=compiled)
 
 
 class SampleMaterialization:
@@ -45,6 +46,7 @@ class SampleMaterialization:
         self.samples = np.zeros((0, graph.num_vars), dtype=bool)
         self.base_marginals = np.zeros(graph.num_vars)
         self._cursor = 0
+        self._compiled = None
         self.materialization_seconds = 0.0
 
     # ------------------------------------------------------------------ #
@@ -63,7 +65,9 @@ class SampleMaterialization:
         """
         if num_samples is None and time_budget is None:
             raise ValueError("need num_samples or time_budget")
-        sampler = make_sampler(self.graph, seed=self.rng)
+        if self._compiled is None:
+            self._compiled = CompiledFactorGraph(self.graph)
+        sampler = make_sampler(self.graph, seed=self.rng, compiled=self._compiled)
         start = time.perf_counter()
         sampler.run(burn_in)
         collected = []

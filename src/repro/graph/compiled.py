@@ -1,14 +1,54 @@
-"""Incidence-compiled factor graph for fast Gibbs conditionals.
+"""Flat-array (CSR) compiled factor graph and Gibbs kernels.
 
 The dominant cost of Gibbs sampling is fetching, for each variable, the
-factors it participates in (paper §3.2.3).  :class:`CompiledFactorGraph`
-pre-indexes those incidences once; :class:`GibbsCache` maintains, per
-sampler state, the satisfied-grounding counts so that a single-variable
-conditional costs O(degree) instead of O(|F|).
+factors it participates in (paper §3.2.3).  DeepDive's sampler is fast
+because the grounded graph is compiled once into contiguous incidence
+arrays that a tight loop can walk without object traffic.  This module
+is the Python equivalent: :class:`CompiledFactorGraph` lowers a
+:class:`~repro.graph.factor_graph.FactorGraph` into flat numpy arrays,
+and :class:`GibbsCache` evaluates conditionals against them.
+
+Compiled layout (all arrays contiguous, ``n`` = number of variables):
+
+========================  =====================================================
+``bias_indptr/bias_wid``  per-variable CSR of bias-factor weight ids
+``ising_indptr/…``        per-variable CSR of Ising incidences: for variable
+                          ``v`` the slice holds ``ising_other`` (neighbour id)
+                          and ``ising_wid`` (weight id); each edge appears
+                          twice, once per endpoint.  ``ising_row[k]`` is the
+                          owning variable of incidence ``k``.
+``rule_head/rule_wid/``   per fast-path rule factor (dense index ``ri``):
+``rule_sem``              head variable, tied weight id, semantics int8 code
+``grounding_ri``          grounding id ``gg`` → owning rule ``ri``
+``lit_gg/lit_var/``       one row per body literal (used to (re)initialise
+``lit_pos``               the satisfied-count state)
+``head_indptr/head_ri``   per-variable CSR of rules the variable heads
+``body_indptr/body_ri/``  per-variable CSR of body incidences, sorted by
+``body_gg/body_pos``      rule id within each variable's slice
+``bseg_indptr/…``         per-variable segments of the body slice: one
+                          segment per distinct ``(var, ri)`` pair
+``slow_indptr/slow_idx``  per-variable CSR into ``slow_list``
+========================  =====================================================
+
+State kept by :class:`GibbsCache` (one instance per sampler chain):
+
+* ``field``  — float64[n], ``bias(v) + Σ_j w_vj · σ_j``; the full
+  bias+Ising part of the conditional is ``2·field[v]``.
+* ``unsat``  — int64[G], unsatisfied-literal count per grounding.
+* ``nsat``   — int64[R], fully-satisfied grounding count per rule factor.
 
 Rule factors where a variable appears both as head and in the body, or
 twice within one grounding, are handled on a brute-force "slow path"
 (they are rare — none of the paper's rule templates produce them).
+
+Scan-order blocking: :class:`SweepPlan` partitions the id-order scan of
+the free variables into maximal runs of consecutive variables that share
+no factor.  Variables within such a block are conditionally independent
+given the rest, so the whole block is resampled in one vectorised step —
+this is *exactly* equivalent to the sequential scan (same uniforms, same
+trajectory up to float summation order) but approaches chromatic-sampler
+throughput on pairwise graphs without needing a colouring.  Variables in
+very large rule factors or slow-path factors become singleton blocks.
 """
 
 from __future__ import annotations
@@ -16,161 +56,590 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.factor_graph import BiasFactor, FactorGraph, IsingFactor, RuleFactor
-from repro.graph.semantics import g_value
+from repro.graph.semantics import g_code_array, g_coded, g_value, sem_code
+
+#: Rule factors touching more variables than this force their members into
+#: singleton blocks (avoids quadratic co-membership edges; such factors
+#: couple everything anyway, so no block could contain two members).
+_BIG_FACTOR = 32
+
+#: Blocks at least this large use the batched numpy kernel; smaller blocks
+#: go through the scalar kernel, which has lower fixed overhead.
+_BATCH_MIN = 8
+
+#: Per-variable incidence count above which the scalar kernel switches
+#: from Python loops to numpy slice arithmetic.
+_SCALAR_NUMPY_MIN = 48
+
+
+def _csr(lists, dtype=np.int64):
+    """Flatten a list of per-variable lists into (indptr, flat array)."""
+    counts = np.fromiter((len(l) for l in lists), dtype=np.int64, count=len(lists))
+    indptr = np.zeros(len(lists) + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    flat = np.fromiter(
+        (x for l in lists for x in l), dtype=dtype, count=int(indptr[-1])
+    )
+    return indptr, flat
 
 
 class CompiledFactorGraph:
-    """Immutable incidence index over a :class:`FactorGraph`.
+    """Immutable flat-array incidence index over a :class:`FactorGraph`.
 
     The compiled view snapshots the *structure* only; weight values are
-    read live from ``graph.weights`` so learning can update them without
+    re-read from ``graph.weights`` (an O(1) array view) whenever a
+    :class:`GibbsCache` refreshes, so learning can update them without
     recompiling.
     """
 
     def __init__(self, graph: FactorGraph) -> None:
         graph.validate()
         self.graph = graph
-        self.num_vars = graph.num_vars
+        n = self.num_vars = graph.num_vars
 
-        # Per-variable incidence lists.
-        self.bias_of = [[] for _ in range(self.num_vars)]       # [weight_id]
-        self.ising_of = [[] for _ in range(self.num_vars)]      # [(other, wid)]
-        self.head_of = [[] for _ in range(self.num_vars)]       # [factor idx]
-        self.body_of = [[] for _ in range(self.num_vars)]       # [(fi, gi, pos)]
-        self.slow_of = [[] for _ in range(self.num_vars)]       # [factor idx]
+        bias_lists = [[] for _ in range(n)]   # [wid]
+        ising_lists = [[] for _ in range(n)]  # [(other, wid)]
+        head_lists = [[] for _ in range(n)]   # [ri]
+        body_lists = [[] for _ in range(n)]   # [(ri, gg, pos)]
+        slow_lists = [[] for _ in range(n)]   # [slow idx]
 
-        self.rule_factors = {}       # factor idx -> RuleFactor (fast path)
-        self.slow_factors = {}       # factor idx -> RuleFactor (slow path)
+        self.rule_factors = {}   # original factor idx -> RuleFactor (fast path)
+        self.slow_factors = {}   # original factor idx -> RuleFactor (slow path)
+        self.slow_list = []      # dense list of slow-path factors
+
+        rule_head_l, rule_wid_l, rule_sem_l, rule_code_l = [], [], [], []
+        grounding_ri_l = []
+        lit_gg_l, lit_var_l, lit_pos_l = [], [], []
 
         for fi, factor in enumerate(graph.factors):
             if isinstance(factor, BiasFactor):
-                self.bias_of[factor.var].append(factor.weight_id)
+                bias_lists[factor.var].append(factor.weight_id)
             elif isinstance(factor, IsingFactor):
-                self.ising_of[factor.i].append((factor.j, factor.weight_id))
-                self.ising_of[factor.j].append((factor.i, factor.weight_id))
+                ising_lists[factor.i].append((factor.j, factor.weight_id))
+                ising_lists[factor.j].append((factor.i, factor.weight_id))
             elif isinstance(factor, RuleFactor):
-                self._compile_rule(fi, factor)
+                body_vars = set()
+                duplicated = False
+                for grounding in factor.groundings:
+                    per_grounding = [var for var, _ in grounding]
+                    if len(per_grounding) != len(set(per_grounding)):
+                        duplicated = True
+                    body_vars.update(per_grounding)
+                if duplicated or factor.head in body_vars:
+                    self.slow_factors[fi] = factor
+                    si = len(self.slow_list)
+                    self.slow_list.append(factor)
+                    for var in factor.variables():
+                        slow_lists[var].append(si)
+                    continue
+                ri = len(rule_head_l)
+                self.rule_factors[fi] = factor
+                rule_head_l.append(factor.head)
+                rule_wid_l.append(factor.weight_id)
+                rule_sem_l.append(factor.semantics)
+                rule_code_l.append(sem_code(factor.semantics))
+                head_lists[factor.head].append(ri)
+                for grounding in factor.groundings:
+                    gg = len(grounding_ri_l)
+                    grounding_ri_l.append(ri)
+                    for var, pos in grounding:
+                        lit_gg_l.append(gg)
+                        lit_var_l.append(var)
+                        lit_pos_l.append(bool(pos))
+                        body_lists[var].append((ri, gg, bool(pos)))
             else:
                 raise TypeError(f"unknown factor type {type(factor)!r}")
 
-        self.evidence_mask = graph.evidence_mask()
-        self.free_vars = np.asarray(graph.free_variables(), dtype=np.int64)
+        # ---- flat arrays -------------------------------------------------
+        self.bias_indptr, self.bias_wid = _csr(bias_lists)
+        self.bias_var = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.bias_indptr)
+        )
 
-    def _compile_rule(self, fi: int, factor: RuleFactor) -> None:
-        body_vars = set()
-        duplicated = False
-        for grounding in factor.groundings:
-            per_grounding = [var for var, _ in grounding]
-            if len(per_grounding) != len(set(per_grounding)):
-                duplicated = True
-            body_vars.update(per_grounding)
-        if duplicated or factor.head in body_vars:
-            self.slow_factors[fi] = factor
-            for var in factor.variables():
-                self.slow_of[var].append(fi)
-            return
-        self.rule_factors[fi] = factor
-        self.head_of[factor.head].append(fi)
-        for gi, grounding in enumerate(factor.groundings):
-            for var, pos in grounding:
-                self.body_of[var].append((fi, gi, pos))
+        self.ising_indptr, _ = _csr([[0] * len(l) for l in ising_lists])
+        self.ising_other = np.fromiter(
+            (o for l in ising_lists for o, _ in l),
+            dtype=np.int64,
+            count=int(self.ising_indptr[-1]),
+        )
+        self.ising_wid = np.fromiter(
+            (w for l in ising_lists for _, w in l),
+            dtype=np.int64,
+            count=int(self.ising_indptr[-1]),
+        )
+        self.ising_row = np.repeat(
+            np.arange(n, dtype=np.int64), np.diff(self.ising_indptr)
+        )
+
+        self.rule_head = np.asarray(rule_head_l, dtype=np.int64)
+        self.rule_wid = np.asarray(rule_wid_l, dtype=np.int64)
+        self.rule_sem = np.asarray(rule_code_l, dtype=np.int8)
+        self.num_rules = len(rule_head_l)
+        self.rule_sem_uniform = (
+            rule_code_l[0]
+            if rule_code_l and all(c == rule_code_l[0] for c in rule_code_l)
+            else None
+        )
+
+        self.grounding_ri = np.asarray(grounding_ri_l, dtype=np.int64)
+        self.num_groundings = len(grounding_ri_l)
+        self.lit_gg = np.asarray(lit_gg_l, dtype=np.int64)
+        self.lit_var = np.asarray(lit_var_l, dtype=np.int64)
+        self.lit_pos = np.asarray(lit_pos_l, dtype=bool)
+
+        self.head_indptr, self.head_ri = _csr(head_lists)
+
+        self.body_indptr, self.body_ri = _csr(
+            [[ri for ri, _, _ in l] for l in body_lists]
+        )
+        _, self.body_gg = _csr([[gg for _, gg, _ in l] for l in body_lists])
+        _, self.body_pos = _csr(
+            [[pos for _, _, pos in l] for l in body_lists], dtype=bool
+        )
+
+        # Body segments: one per distinct (var, ri) pair.  Within a
+        # variable's body slice incidences are sorted by ri (factors are
+        # compiled in order), so segments are consecutive runs.
+        bseg_counts, bseg_start_l, bseg_ri_l = [], [], []
+        base = 0
+        for var in range(n):
+            runs = 0
+            prev_ri = -1
+            for k, (ri, _, _) in enumerate(body_lists[var]):
+                if ri != prev_ri:
+                    bseg_start_l.append(base + k)
+                    bseg_ri_l.append(ri)
+                    runs += 1
+                    prev_ri = ri
+            bseg_counts.append(runs)
+            base += len(body_lists[var])
+        self.bseg_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.asarray(bseg_counts, dtype=np.int64), out=self.bseg_indptr[1:])
+        self.bseg_start = np.asarray(bseg_start_l, dtype=np.int64)
+        self.bseg_ri = np.asarray(bseg_ri_l, dtype=np.int64)
+
+        self.slow_indptr, self.slow_idx = _csr(slow_lists)
+
+        # ---- Python mirrors for the scalar (low-degree) kernel -----------
+        self.py_ising = ising_lists
+        self.py_head = head_lists
+        self.py_slow = slow_lists
+        self.py_body = []
+        for var in range(n):
+            segs = []
+            prev_ri = -1
+            for ri, gg, pos in body_lists[var]:
+                if ri != prev_ri:
+                    segs.append((ri, []))
+                    prev_ri = ri
+                segs[-1][1].append((gg, pos))
+            self.py_body.append(segs)
+        self._rule_head_l = rule_head_l
+        self._rule_wid_l = rule_wid_l
+        self._rule_sem_l = rule_sem_l
+
+        # ---- evidence ----------------------------------------------------
+        self.evidence_mask = graph.evidence_mask()
+        self.free_vars = np.flatnonzero(~self.evidence_mask)
+
+        # ---- block-planning adjacency ------------------------------------
+        # nbr: variables sharing any fast factor (used to prove two scan
+        # neighbours conditionally independent).  Members of oversized rule
+        # factors and slow-path factors are forced into singleton blocks.
+        nbr = [list({o for o, _ in l}) for l in ising_lists]
+        self._force_singleton = np.zeros(n, dtype=bool)
+        self._needs_scalar = np.zeros(n, dtype=bool)
+        for factor in self.rule_factors.values():
+            members = set(factor.variables())
+            if len(members) > _BIG_FACTOR:
+                self._force_singleton[list(members)] = True
+                continue
+            for a in members:
+                nbr[a].extend(members - {a})
+        for var in range(n):
+            if slow_lists[var]:
+                self._needs_scalar[var] = True
+        self._nbr_indptr, self._nbr_idx = _csr(nbr)
+
+        self._plan_cache = {}
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_pairwise(self) -> bool:
+        """True when the graph holds only bias/Ising factors."""
+        return self.num_rules == 0 and not self.slow_list
 
     def degree(self, var: int) -> int:
         """Number of factor incidences of ``var`` (proxy for Gibbs cost)."""
-        return (
-            len(self.bias_of[var])
-            + len(self.ising_of[var])
-            + len(self.head_of[var])
-            + len(self.body_of[var])
-            + len(self.slow_of[var])
+        return int(
+            (self.bias_indptr[var + 1] - self.bias_indptr[var])
+            + (self.ising_indptr[var + 1] - self.ising_indptr[var])
+            + (self.head_indptr[var + 1] - self.head_indptr[var])
+            + (self.body_indptr[var + 1] - self.body_indptr[var])
+            + (self.slow_indptr[var + 1] - self.slow_indptr[var])
         )
+
+    def plan(self, graph: FactorGraph | None = None) -> "SweepPlan":
+        """The (cached) block-structured scan plan for ``graph``'s evidence.
+
+        ``graph`` defaults to the compiled graph; passing another graph
+        with identical factor structure but different evidence (e.g. the
+        free chain of SGD learning) reuses this compilation with its own
+        free-variable partition.
+        """
+        target = graph if graph is not None else self.graph
+        if target.num_vars != self.num_vars:
+            raise ValueError(
+                f"graph has {target.num_vars} variables, "
+                f"compiled for {self.num_vars}"
+            )
+        key = tuple(sorted(target.evidence.items()))
+        plan = self._plan_cache.get(key)
+        if plan is None:
+            # Always read the *current* evidence (never the compile-time
+            # snapshot): evidence may have been set after compilation.
+            plan = SweepPlan(self, target.evidence_mask())
+            self._plan_cache[key] = plan
+        return plan
+
+
+class _Block:
+    """One run of mutually factor-independent variables in scan order.
+
+    Blocks of at least ``_BATCH_MIN`` variables precompute concatenated
+    gather arrays so a whole block's conditionals evaluate in a handful
+    of numpy calls; smaller blocks iterate the scalar kernel.
+    """
+
+    __slots__ = (
+        "vars",
+        "scalar_only",
+        "use_batch",
+        "head_ri",
+        "head_seg",
+        "body_gg",
+        "body_pos",
+        "body_seg",
+        "body_fsid",
+        "fseg_ri",
+        "fseg_var",
+        "num_fseg",
+        "pure_pairwise",
+    )
+
+    def __init__(self, compiled, vars_, scalar_only=False):
+        self.vars = vars_
+        self.scalar_only = scalar_only
+        self.use_batch = (not scalar_only) and vars_.size >= _BATCH_MIN
+        self.pure_pairwise = False
+        if not self.use_batch:
+            return
+        head_ri, head_seg = [], []
+        body_gg, body_pos, body_seg, body_fsid = [], [], [], []
+        fseg_ri, fseg_var = [], []
+        for p, v in enumerate(vars_):
+            v = int(v)
+            for ri in compiled.py_head[v]:
+                head_ri.append(ri)
+                head_seg.append(p)
+            for ri, lits in compiled.py_body[v]:
+                s = len(fseg_ri)
+                fseg_ri.append(ri)
+                fseg_var.append(p)
+                for gg, pos in lits:
+                    body_gg.append(gg)
+                    body_pos.append(pos)
+                    body_seg.append(p)
+                    body_fsid.append(s)
+        self.head_ri = np.asarray(head_ri, dtype=np.int64)
+        self.head_seg = np.asarray(head_seg, dtype=np.int64)
+        self.body_gg = np.asarray(body_gg, dtype=np.int64)
+        self.body_pos = np.asarray(body_pos, dtype=bool)
+        self.body_seg = np.asarray(body_seg, dtype=np.int64)
+        self.body_fsid = np.asarray(body_fsid, dtype=np.int64)
+        self.fseg_ri = np.asarray(fseg_ri, dtype=np.int64)
+        self.fseg_var = np.asarray(fseg_var, dtype=np.int64)
+        self.num_fseg = len(fseg_ri)
+        self.pure_pairwise = not body_gg
+
+
+class SweepPlan:
+    """Block partition of the id-order scan over one evidence configuration.
+
+    Greedy and order-preserving: walk the free variables in id order,
+    extending the current block while the next variable shares no factor
+    with any block member.  Simultaneously resampling a block is then
+    exactly equivalent to resampling its members sequentially.
+    """
+
+    def __init__(self, compiled: CompiledFactorGraph, evidence_mask) -> None:
+        self.compiled = compiled
+        self.free_vars = np.flatnonzero(~np.asarray(evidence_mask, dtype=bool))
+        self.blocks = self._build_blocks()
+
+    def _build_blocks(self):
+        c = self.compiled
+        stamp = np.full(c.num_vars, -1, dtype=np.int64)
+        indptr, idx = c._nbr_indptr, c._nbr_idx
+        blocks = []
+        cur = []
+        bid = 0
+
+        def flush():
+            nonlocal cur, bid
+            if cur:
+                blocks.append(_Block(c, np.asarray(cur, dtype=np.int64)))
+                bid += 1
+                cur = []
+
+        for v in self.free_vars:
+            v = int(v)
+            if c._needs_scalar[v] or c._force_singleton[v]:
+                flush()
+                blocks.append(
+                    _Block(
+                        c,
+                        np.asarray([v], dtype=np.int64),
+                        scalar_only=bool(c._needs_scalar[v]),
+                    )
+                )
+                bid += 1
+                continue
+            lo, hi = indptr[v], indptr[v + 1]
+            if hi > lo and bool((stamp[idx[lo:hi]] == bid).any()):
+                flush()
+                cur = [v]
+            else:
+                cur.append(v)
+            stamp[v] = bid
+        flush()
+        return blocks
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self.blocks)
 
 
 class GibbsCache:
-    """Mutable satisfied-grounding caches tied to one assignment.
+    """Mutable sampler state tied to one assignment.
 
-    ``unsat[fi][gi]`` is the count of unsatisfied literals of grounding
-    ``gi`` of rule factor ``fi``; ``nsat[fi]`` the count of fully
-    satisfied groundings.  Both are kept in sync with the assignment via
-    :meth:`commit_flip`.
+    Keeps ``field`` (bias + Ising local field per variable), ``unsat``
+    (unsatisfied-literal count per grounding) and ``nsat`` (satisfied
+    grounding count per rule factor) in sync with the assignment via
+    :meth:`commit_flip`.  ``refresh_weights`` re-snapshots the weight
+    vector (an O(1) view of the store) and rebuilds the field; samplers
+    call it once per sweep so learning updates land without per-incidence
+    ``weights.value()`` calls.
     """
 
     def __init__(self, compiled: CompiledFactorGraph, assignment: np.ndarray) -> None:
         self.compiled = compiled
-        self.unsat = {}
-        self.nsat = {}
-        for fi, factor in compiled.rule_factors.items():
-            counts = []
-            satisfied = 0
-            for grounding in factor.groundings:
-                unsat = sum(
-                    1 for var, pos in grounding if bool(assignment[var]) != pos
-                )
-                counts.append(unsat)
-                if unsat == 0:
-                    satisfied += 1
-            self.unsat[fi] = counts
-            self.nsat[fi] = satisfied
+        self._weights_version = None
+        self._init_rule_state(assignment)
+        self.refresh_weights(assignment)
 
+    def _init_rule_state(self, assignment) -> None:
+        c = self.compiled
+        if c.lit_gg.size:
+            mismatch = (
+                np.asarray(assignment, dtype=bool)[c.lit_var] != c.lit_pos
+            ).astype(np.float64)
+            self.unsat = np.bincount(
+                c.lit_gg, weights=mismatch, minlength=c.num_groundings
+            ).astype(np.int64)
+        else:
+            self.unsat = np.zeros(c.num_groundings, dtype=np.int64)
+        if c.num_groundings:
+            self.nsat = np.bincount(
+                c.grounding_ri,
+                weights=(self.unsat == 0).astype(np.float64),
+                minlength=c.num_rules,
+            ).astype(np.int64)
+        else:
+            self.nsat = np.zeros(c.num_rules, dtype=np.int64)
+
+    def refresh_weights(self, assignment) -> None:
+        """Re-snapshot weights and rebuild the bias+Ising local field.
+
+        A no-op when the weight store has not been mutated since the last
+        refresh (the field is maintained incrementally by
+        :meth:`commit_flip`), so sweeping with static weights pays
+        nothing; learning pays one rebuild per weight update.
+        """
+        c = self.compiled
+        version = c.graph.weights.version
+        if version == self._weights_version:
+            return
+        self._weights_version = version
+        w = np.asarray(c.graph.weights.values_array(), dtype=np.float64)
+        self.weights_vec = w
+        self._w_list = w.tolist()
+        n = c.num_vars
+        if c.bias_wid.size:
+            field = np.bincount(
+                c.bias_var, weights=w[c.bias_wid], minlength=n
+            )
+        else:
+            field = np.zeros(n, dtype=np.float64)
+        if c.ising_wid.size:
+            self._edge_w = w[c.ising_wid]
+            spins = np.where(np.asarray(assignment, dtype=bool), 1.0, -1.0)
+            field = field + np.bincount(
+                c.ising_row,
+                weights=self._edge_w * spins[c.ising_other],
+                minlength=n,
+            )
+        else:
+            self._edge_w = np.zeros(0, dtype=np.float64)
+        self.field = field
+
+    # ------------------------------------------------------------------ #
+    # Scalar kernel
     # ------------------------------------------------------------------ #
 
     def delta_energy(self, var: int, assignment: np.ndarray) -> float:
         """``E(x | x_var=1) − E(x | x_var=0)`` for the Gibbs conditional."""
-        compiled = self.compiled
-        weights = compiled.graph.weights
-        current = bool(assignment[var])
-        delta = 0.0
+        var = int(var)
+        c = self.compiled
+        delta = 2.0 * float(self.field[var])
+        w = self._w_list
+        nsat = self.nsat
 
-        for wid in compiled.bias_of[var]:
-            delta += 2.0 * weights.value(wid)
+        heads = c.py_head[var]
+        if heads:
+            for ri in heads:
+                delta += 2.0 * w[c._rule_wid_l[ri]] * g_value(
+                    c._rule_sem_l[ri], int(nsat[ri])
+                )
 
-        for other, wid in compiled.ising_of[var]:
-            s_other = 1.0 if assignment[other] else -1.0
-            delta += 2.0 * weights.value(wid) * s_other
+        segs = c.py_body[var]
+        if segs:
+            if c.body_indptr[var + 1] - c.body_indptr[var] > _SCALAR_NUMPY_MIN:
+                delta += self._body_delta_numpy(var, assignment)
+            else:
+                unsat = self.unsat
+                current = bool(assignment[var])
+                for ri, lits in segs:
+                    up = down = now = 0
+                    for gg, pos in lits:
+                        u = unsat[gg]
+                        if u == 0:
+                            now += 1
+                        if u - (1 if current != pos else 0) == 0:
+                            if pos:
+                                up += 1
+                            else:
+                                down += 1
+                    if up != down:
+                        base = int(nsat[ri]) - now
+                        sign = 1.0 if assignment[c._rule_head_l[ri]] else -1.0
+                        sem = c._rule_sem_l[ri]
+                        delta += w[c._rule_wid_l[ri]] * sign * (
+                            g_value(sem, base + up) - g_value(sem, base + down)
+                        )
 
-        for fi in compiled.head_of[var]:
-            factor = compiled.rule_factors[fi]
-            g = g_value(factor.semantics, self.nsat[fi])
-            delta += 2.0 * weights.value(factor.weight_id) * g
-
-        # Body incidences, grouped per factor: how many of this factor's
-        # v-groundings would be satisfied with v=1 vs v=0.
-        per_factor: dict = {}
-        for fi, gi, pos in compiled.body_of[var]:
-            unsat_others = self.unsat[fi][gi] - (0 if current == pos else 1)
-            sat_if_true = pos and unsat_others == 0
-            sat_if_false = (not pos) and unsat_others == 0
-            sat_now = self.unsat[fi][gi] == 0
-            up, down, now = per_factor.get(fi, (0, 0, 0))
-            per_factor[fi] = (
-                up + (1 if sat_if_true else 0),
-                down + (1 if sat_if_false else 0),
-                now + (1 if sat_now else 0),
-            )
-        for fi, (up, down, now) in per_factor.items():
-            factor = compiled.rule_factors[fi]
-            base = self.nsat[fi] - now
-            sign = 1.0 if assignment[factor.head] else -1.0
-            g1 = g_value(factor.semantics, base + up)
-            g0 = g_value(factor.semantics, base + down)
-            delta += weights.value(factor.weight_id) * sign * (g1 - g0)
-
-        if compiled.slow_of[var]:
-            saved = assignment[var]
-            assignment[var] = True
-            e1 = sum(
-                compiled.slow_factors[fi].energy(assignment, weights)
-                for fi in compiled.slow_of[var]
-            )
-            assignment[var] = False
-            e0 = sum(
-                compiled.slow_factors[fi].energy(assignment, weights)
-                for fi in compiled.slow_of[var]
-            )
-            assignment[var] = saved
-            delta += e1 - e0
-
+        if c.py_slow[var]:
+            delta += self._slow_delta(var, assignment)
         return delta
+
+    def _body_delta_numpy(self, var: int, assignment) -> float:
+        """Body-incidence part of ``delta_energy`` for high-degree vars."""
+        c = self.compiled
+        lo, hi = c.body_indptr[var], c.body_indptr[var + 1]
+        gg = c.body_gg[lo:hi]
+        pos = c.body_pos[lo:hi]
+        current = bool(assignment[var])
+        u = self.unsat[gg]
+        zero_others = (u - (pos != current)) == 0
+        up = (pos & zero_others).astype(np.int64)
+        down = ((~pos) & zero_others).astype(np.int64)
+        now = (u == 0).astype(np.int64)
+        s0, s1 = c.bseg_indptr[var], c.bseg_indptr[var + 1]
+        starts = c.bseg_start[s0:s1] - lo
+        upc = np.add.reduceat(up, starts)
+        downc = np.add.reduceat(down, starts)
+        nowc = np.add.reduceat(now, starts)
+        ris = c.bseg_ri[s0:s1]
+        base = self.nsat[ris] - nowc
+        sign = np.where(assignment[c.rule_head[ris]], 1.0, -1.0)
+        g1 = self._g(c.rule_sem[ris], base + upc)
+        g0 = self._g(c.rule_sem[ris], base + downc)
+        return float(
+            (self.weights_vec[c.rule_wid[ris]] * sign * (g1 - g0)).sum()
+        )
+
+    def _slow_delta(self, var: int, assignment) -> float:
+        c = self.compiled
+        weights = c.graph.weights
+        factors = [c.slow_list[si] for si in c.py_slow[var]]
+        saved = assignment[var]
+        assignment[var] = True
+        e1 = sum(f.energy(assignment, weights) for f in factors)
+        assignment[var] = False
+        e0 = sum(f.energy(assignment, weights) for f in factors)
+        assignment[var] = saved
+        return e1 - e0
+
+    def _g(self, codes, n):
+        uniform = self.compiled.rule_sem_uniform
+        if uniform is not None:
+            return g_code_array(uniform, n)
+        return g_coded(codes, n)
+
+    # ------------------------------------------------------------------ #
+    # Batched kernel
+    # ------------------------------------------------------------------ #
+
+    def delta_energy_block(self, block: _Block, assignment: np.ndarray) -> np.ndarray:
+        """``delta_energy`` for every variable of a fast block at once."""
+        c = self.compiled
+        V = block.vars
+        delta = 2.0 * self.field[V]
+        w = self.weights_vec
+        if block.head_ri.size:
+            ris = block.head_ri
+            g = self._g(c.rule_sem[ris], self.nsat[ris])
+            delta += np.bincount(
+                block.head_seg,
+                weights=2.0 * w[c.rule_wid[ris]] * g,
+                minlength=V.size,
+            )
+        if block.body_gg.size:
+            u = self.unsat[block.body_gg]
+            pos = block.body_pos
+            current = assignment[V][block.body_seg]
+            zero_others = (u - (pos != current)) == 0
+            upc = np.bincount(
+                block.body_fsid,
+                weights=(pos & zero_others).astype(np.float64),
+                minlength=block.num_fseg,
+            )
+            downc = np.bincount(
+                block.body_fsid,
+                weights=((~pos) & zero_others).astype(np.float64),
+                minlength=block.num_fseg,
+            )
+            nowc = np.bincount(
+                block.body_fsid,
+                weights=(u == 0).astype(np.float64),
+                minlength=block.num_fseg,
+            )
+            ris = block.fseg_ri
+            base = self.nsat[ris] - nowc
+            sign = np.where(assignment[c.rule_head[ris]], 1.0, -1.0)
+            g1 = self._g(c.rule_sem[ris], base + upc)
+            g0 = self._g(c.rule_sem[ris], base + downc)
+            delta += np.bincount(
+                block.fseg_var,
+                weights=w[c.rule_wid[ris]] * sign * (g1 - g0),
+                minlength=V.size,
+            )
+        return delta
+
+    # ------------------------------------------------------------------ #
+    # Flips
+    # ------------------------------------------------------------------ #
 
     def commit_flip(self, var: int, new_value: bool, assignment: np.ndarray) -> None:
         """Set ``assignment[var] := new_value`` and update the caches.
@@ -178,23 +647,93 @@ class GibbsCache:
         ``assignment[var]`` must still hold the *old* value on entry; this
         method writes the new one.
         """
+        var = int(var)
         old_value = bool(assignment[var])
-        if old_value == bool(new_value):
+        new_value = bool(new_value)
+        if old_value == new_value:
             return
-        assignment[var] = bool(new_value)
-        for fi, gi, pos in self.compiled.body_of[var]:
-            was_satisfied = old_value == pos
-            if was_satisfied:
-                if self.unsat[fi][gi] == 0:
-                    self.nsat[fi] -= 1
-                self.unsat[fi][gi] += 1
+        assignment[var] = new_value
+        c = self.compiled
+        ds = 2.0 if new_value else -2.0
+
+        ising = c.py_ising[var]
+        if ising:
+            if len(ising) <= _SCALAR_NUMPY_MIN:
+                field = self.field
+                w = self._w_list
+                for other, wid in ising:
+                    field[other] += w[wid] * ds
             else:
-                self.unsat[fi][gi] -= 1
-                if self.unsat[fi][gi] == 0:
-                    self.nsat[fi] += 1
+                lo, hi = c.ising_indptr[var], c.ising_indptr[var + 1]
+                np.add.at(
+                    self.field, c.ising_other[lo:hi], self._edge_w[lo:hi] * ds
+                )
+
+        segs = c.py_body[var]
+        if segs:
+            if c.body_indptr[var + 1] - c.body_indptr[var] <= _SCALAR_NUMPY_MIN:
+                unsat = self.unsat
+                nsat = self.nsat
+                for ri, lits in segs:
+                    for gg, pos in lits:
+                        u = unsat[gg]
+                        if pos == old_value:   # literal was satisfied
+                            if u == 0:
+                                nsat[ri] -= 1
+                            unsat[gg] = u + 1
+                        else:
+                            unsat[gg] = u - 1
+                            if u == 1:
+                                nsat[ri] += 1
+            else:
+                self._commit_body_numpy(var, old_value)
+
+    def _commit_body_numpy(self, var: int, old_value: bool) -> None:
+        c = self.compiled
+        lo, hi = c.body_indptr[var], c.body_indptr[var + 1]
+        gg = c.body_gg[lo:hi]
+        pos = c.body_pos[lo:hi]
+        ris = c.body_ri[lo:hi]
+        u = self.unsat[gg]
+        was_sat = pos == old_value
+        newly_unsat = was_sat & (u == 0)
+        newly_sat = (~was_sat) & (u == 1)
+        # gg entries are unique within one variable's slice (duplicated
+        # literals route to the slow path), so a plain scatter is safe.
+        self.unsat[gg] = u + np.where(was_sat, 1, -1)
+        if newly_unsat.any():
+            np.subtract.at(self.nsat, ris[newly_unsat], 1)
+        if newly_sat.any():
+            np.add.at(self.nsat, ris[newly_sat], 1)
+
+    def commit_flips_pairwise(self, vars_, new_values, assignment) -> None:
+        """Batched flip for changed vars with no body incidences.
+
+        Valid for whole-block application: flipping such variables only
+        touches ``assignment`` and the Ising field of their neighbours.
+        """
+        c = self.compiled
+        assignment[vars_] = new_values
+        counts = c.ising_indptr[vars_ + 1] - c.ising_indptr[vars_]
+        total = int(counts.sum())
+        if not total:
+            return
+        starts = c.ising_indptr[vars_]
+        offsets = np.repeat(
+            starts - np.concatenate(([0], np.cumsum(counts)[:-1])), counts
+        )
+        idx = offsets + np.arange(total)
+        ds = np.repeat(np.where(new_values, 2.0, -2.0), counts)
+        np.add.at(self.field, c.ising_other[idx], self._edge_w[idx] * ds)
+
+    # ------------------------------------------------------------------ #
 
     def check_consistency(self, assignment: np.ndarray) -> None:
         """Recompute all caches from scratch and compare (test helper)."""
         fresh = GibbsCache(self.compiled, assignment)
-        if fresh.unsat != self.unsat or fresh.nsat != self.nsat:
-            raise AssertionError("GibbsCache diverged from assignment")
+        if not np.array_equal(fresh.unsat, self.unsat):
+            raise AssertionError("GibbsCache.unsat diverged from assignment")
+        if not np.array_equal(fresh.nsat, self.nsat):
+            raise AssertionError("GibbsCache.nsat diverged from assignment")
+        if not np.allclose(fresh.field, self.field, rtol=1e-9, atol=1e-9):
+            raise AssertionError("GibbsCache.field diverged from assignment")

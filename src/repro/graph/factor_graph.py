@@ -21,6 +21,7 @@ the same feature key share a single learnable parameter.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from types import MappingProxyType
 
 import numpy as np
 
@@ -103,21 +104,43 @@ class BiasFactor:
 
 
 class WeightStore:
-    """Interned, tied weights.
+    """Interned, tied weights backed by a contiguous float64 array.
 
     Each weight has a hashable *key* (typically ``(rule name, feature)``),
     a float value, and a ``fixed`` flag marking weights excluded from
-    learning (e.g. hard supervision-rule weights).
+    learning (e.g. hard supervision-rule weights).  Values live in a
+    capacity-doubling numpy array so :meth:`values_array` is an O(1)
+    view — the compiled Gibbs kernels gather weights straight from it
+    instead of calling :meth:`value` per incidence.
     """
 
+    _INITIAL_CAPACITY = 8
+
     def __init__(self) -> None:
-        self._values: list = []
-        self._fixed: list = []
+        self._values = np.zeros(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._fixed = np.zeros(self._INITIAL_CAPACITY, dtype=bool)
+        self._size = 0
         self._keys: list = []
         self._by_key: dict = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on any value mutation or intern.
+
+        Samplers use it to skip weight-vector refreshes between sweeps
+        when nothing changed.
+        """
+        return self._version
 
     def __len__(self) -> int:
-        return len(self._values)
+        return self._size
+
+    def _check(self, weight_id: int) -> None:
+        if not 0 <= weight_id < self._size:
+            raise IndexError(
+                f"weight id {weight_id} out of range [0, {self._size})"
+            )
 
     def intern(self, key, initial: float = 0.0, fixed: bool = False) -> int:
         """Return the id for ``key``, creating it with ``initial`` if new.
@@ -129,11 +152,20 @@ class WeightStore:
         existing = self._by_key.get(key)
         if existing is not None:
             return existing
-        wid = len(self._values)
-        self._values.append(float(initial))
-        self._fixed.append(bool(fixed))
+        wid = self._size
+        if wid == len(self._values):
+            grown = np.zeros(2 * len(self._values), dtype=np.float64)
+            grown[:wid] = self._values
+            self._values = grown
+            grown_fixed = np.zeros(2 * len(self._fixed), dtype=bool)
+            grown_fixed[:wid] = self._fixed
+            self._fixed = grown_fixed
+        self._values[wid] = float(initial)
+        self._fixed[wid] = bool(fixed)
+        self._size += 1
         self._keys.append(key)
         self._by_key[key] = wid
+        self._version += 1
         return wid
 
     def id_for(self, key):
@@ -141,42 +173,59 @@ class WeightStore:
         return self._by_key.get(key)
 
     def key_for(self, weight_id: int):
+        self._check(weight_id)
         return self._keys[weight_id]
 
     def value(self, weight_id: int) -> float:
-        return self._values[weight_id]
+        self._check(weight_id)
+        return float(self._values[weight_id])
 
     def set_value(self, weight_id: int, value: float) -> None:
+        self._check(weight_id)
         self._values[weight_id] = float(value)
+        self._version += 1
 
     def is_fixed(self, weight_id: int) -> bool:
-        return self._fixed[weight_id]
+        self._check(weight_id)
+        return bool(self._fixed[weight_id])
 
     def values_array(self) -> np.ndarray:
-        return np.asarray(self._values, dtype=float)
+        """O(1) read-only view of the current weight values.
+
+        The view stays in sync with :meth:`set_value` /
+        :meth:`set_values_array` (both write in place); interning *new*
+        weights may reallocate the backing array, so long-lived holders
+        should re-fetch rather than cache across interns.
+        """
+        view = self._values[: self._size]
+        view.flags.writeable = False
+        return view
 
     def set_values_array(self, values) -> None:
-        values = np.asarray(values, dtype=float)
-        if values.shape != (len(self._values),):
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self._size,):
             raise ValueError(
-                f"expected {len(self._values)} weights, got shape {values.shape}"
+                f"expected {self._size} weights, got shape {values.shape}"
             )
-        self._values = [float(v) for v in values]
+        self._values[: self._size] = values
+        self._version += 1
 
     def learnable_ids(self) -> list:
-        return [i for i, fx in enumerate(self._fixed) if not fx]
+        return np.flatnonzero(~self._fixed[: self._size]).tolist()
 
     def copy(self) -> "WeightStore":
         clone = WeightStore()
-        clone._values = list(self._values)
-        clone._fixed = list(self._fixed)
+        clone._values = self._values.copy()
+        clone._fixed = self._fixed.copy()
+        clone._size = self._size
         clone._keys = list(self._keys)
         clone._by_key = dict(self._by_key)
+        clone._version = self._version
         return clone
 
     def items(self):
         """Iterate ``(key, value)`` pairs in id order."""
-        return zip(self._keys, self._values)
+        return zip(self._keys, self._values[: self._size].tolist())
 
 
 class FactorGraph:
@@ -192,6 +241,8 @@ class FactorGraph:
         self._num_vars = 0
         self._names: list = []
         self._evidence: dict = {}
+        self._evidence_view = MappingProxyType(self._evidence)
+        self._evidence_arrays = None
 
     # ------------------------------------------------------------------ #
     # Variables
@@ -215,6 +266,7 @@ class FactorGraph:
         self._names.append(name)
         if evidence is not None:
             self._evidence[vid] = bool(evidence)
+            self._evidence_arrays = None
         return vid
 
     def add_variables(self, count: int) -> range:
@@ -230,9 +282,11 @@ class FactorGraph:
     def set_evidence(self, var: int, value: bool) -> None:
         self._check_var(var)
         self._evidence[var] = bool(value)
+        self._evidence_arrays = None
 
     def clear_evidence(self, var: int) -> None:
-        self._evidence.pop(var, None)
+        if self._evidence.pop(var, None) is not None:
+            self._evidence_arrays = None
 
     def is_evidence(self, var: int) -> bool:
         return var in self._evidence
@@ -242,17 +296,39 @@ class FactorGraph:
         return self._evidence.get(var)
 
     @property
-    def evidence(self) -> dict:
-        """Read-only view of the evidence map ``{var: value}``."""
-        return dict(self._evidence)
+    def evidence(self):
+        """Read-only live view of the evidence map ``{var: value}``.
+
+        This is a :class:`types.MappingProxyType` over the internal dict —
+        no copy is made, so hot paths may access it freely.
+        """
+        return self._evidence_view
+
+    def evidence_arrays(self) -> tuple:
+        """Cached ``(vars, values)`` arrays of the evidence map.
+
+        Invalidated on any evidence mutation; used to clamp assignments
+        and build masks without per-variable Python loops.
+        """
+        cached = self._evidence_arrays
+        if cached is None:
+            count = len(self._evidence)
+            ev_vars = np.fromiter(
+                self._evidence.keys(), dtype=np.int64, count=count
+            )
+            ev_vals = np.fromiter(
+                self._evidence.values(), dtype=bool, count=count
+            )
+            cached = self._evidence_arrays = (ev_vars, ev_vals)
+        return cached
 
     def free_variables(self) -> list:
         return [v for v in range(self._num_vars) if v not in self._evidence]
 
     def evidence_mask(self) -> np.ndarray:
         mask = np.zeros(self._num_vars, dtype=bool)
-        for var in self._evidence:
-            mask[var] = True
+        ev_vars, _ = self.evidence_arrays()
+        mask[ev_vars] = True
         return mask
 
     def initial_assignment(self, rng=None) -> np.ndarray:
@@ -260,8 +336,8 @@ class FactorGraph:
         x = np.zeros(self._num_vars, dtype=bool)
         if rng is not None:
             x = rng.random(self._num_vars) < 0.5
-        for var, value in self._evidence.items():
-            x[var] = value
+        ev_vars, ev_vals = self.evidence_arrays()
+        x[ev_vars] = ev_vals
         return x
 
     # ------------------------------------------------------------------ #
@@ -358,7 +434,7 @@ class FactorGraph:
         clone.factors = list(self.factors)
         clone._num_vars = self._num_vars
         clone._names = list(self._names)
-        clone._evidence = dict(self._evidence)
+        clone._evidence.update(self._evidence)
         return clone
 
     def validate(self) -> None:

@@ -67,3 +67,45 @@ def g_array(semantics: Semantics, n: np.ndarray) -> np.ndarray:
     if semantics is Semantics.LOGICAL:
         return (n > 0).astype(float)
     raise TypeError(f"unknown semantics {semantics!r}")
+
+
+# Integer codes for the compiled (flat-array) factor graph: rule factors
+# store their semantics as an int8 so mixed-semantics batches can be
+# evaluated without touching enum objects.
+SEM_LINEAR, SEM_RATIO, SEM_LOGICAL = 0, 1, 2
+
+_SEM_CODES = {
+    Semantics.LINEAR: SEM_LINEAR,
+    Semantics.RATIO: SEM_RATIO,
+    Semantics.LOGICAL: SEM_LOGICAL,
+}
+
+
+def sem_code(semantics: Semantics) -> int:
+    """The int8 code of ``semantics`` used by compiled rule arrays."""
+    return _SEM_CODES[Semantics.coerce(semantics)]
+
+
+def g_code_array(code: int, n: np.ndarray) -> np.ndarray:
+    """Vectorised ``g`` for a single semantics *code* (uniform batch)."""
+    n = np.asarray(n, dtype=float)
+    if code == SEM_LINEAR:
+        return n
+    if code == SEM_RATIO:
+        return np.log1p(n)
+    if code == SEM_LOGICAL:
+        return (n > 0).astype(float)
+    raise ValueError(f"unknown semantics code {code!r}")
+
+
+def g_coded(codes: np.ndarray, n: np.ndarray) -> np.ndarray:
+    """Vectorised ``g`` over parallel arrays of semantics codes and counts."""
+    n = np.asarray(n, dtype=float)
+    out = n.copy()
+    ratio = codes == SEM_RATIO
+    if ratio.any():
+        out[ratio] = np.log1p(n[ratio])
+    logical = codes == SEM_LOGICAL
+    if logical.any():
+        out[logical] = (n[logical] > 0).astype(float)
+    return out

@@ -8,6 +8,11 @@ class can be resampled in a single vectorised numpy step — this is what
 makes "inference on the sparser approximated graph is faster" measurable
 at Python speed.
 
+The sampler is built directly on the flat CSR incidence arrays of
+:class:`~repro.graph.compiled.CompiledFactorGraph` — the per-variable
+Ising slices *are* the adjacency structure, so both the coupling matrix
+and the colouring reuse them with no per-factor traversal.
+
 Only ``IsingFactor`` and ``BiasFactor`` graphs are supported; a graph with
 rule factors must use :class:`~repro.inference.gibbs.GibbsSampler`.
 """
@@ -17,7 +22,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graph.factor_graph import BiasFactor, FactorGraph, IsingFactor
+from repro.graph.compiled import CompiledFactorGraph
+from repro.graph.factor_graph import FactorGraph
 from repro.util.rng import as_generator
 
 
@@ -42,6 +48,22 @@ def greedy_coloring(num_vars: int, edges) -> list:
     return classes
 
 
+def _greedy_coloring_csr(indptr, indices, num_vars: int) -> np.ndarray:
+    """Greedy colouring over a CSR adjacency; returns the colour vector."""
+    colors = np.full(num_vars, -1, dtype=np.int64)
+    degrees = np.diff(indptr)
+    order = np.argsort(-degrees, kind="stable")
+    for v in order:
+        v = int(v)
+        neighbor_colors = colors[indices[indptr[v] : indptr[v + 1]]]
+        used = {int(c) for c in neighbor_colors[neighbor_colors >= 0]}
+        c = 0
+        while c in used:
+            c += 1
+        colors[v] = c
+    return colors
+
+
 class ChromaticGibbsSampler:
     """Vectorised Gibbs sampler for Ising/bias-only factor graphs.
 
@@ -49,46 +71,65 @@ class ChromaticGibbsSampler:
     the conditional is ``P(σ_v = +1 | rest) = sigmoid(2(h_v + Σ_j J_vj σ_j))``.
     """
 
-    def __init__(self, graph: FactorGraph, seed=None, initial=None) -> None:
+    def __init__(
+        self,
+        graph: FactorGraph,
+        seed=None,
+        initial=None,
+        compiled: CompiledFactorGraph | None = None,
+    ) -> None:
         self.graph = graph
         self.rng = as_generator(seed)
+        self.compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
+        if not self.compiled.is_pairwise:
+            raise TypeError(
+                "ChromaticGibbsSampler supports only pairwise graphs; "
+                "found rule factors"
+            )
         self._build(graph)
         if initial is None:
             state = graph.initial_assignment(self.rng)
         else:
             state = np.array(initial, dtype=bool)
-            for var, value in graph.evidence.items():
-                state[var] = value
+            ev_vars, ev_vals = graph.evidence_arrays()
+            state[ev_vars] = ev_vals
         self.spins = np.where(state, 1.0, -1.0)
         self.sweeps_done = 0
 
     def _build(self, graph: FactorGraph) -> None:
+        compiled = self.compiled
         n = graph.num_vars
-        rows, cols, vals = [], [], []
-        h = np.zeros(n)
-        edges = []
-        weights = graph.weights
-        for factor in graph.factors:
-            if isinstance(factor, BiasFactor):
-                h[factor.var] += weights.value(factor.weight_id)
-            elif isinstance(factor, IsingFactor):
-                w = weights.value(factor.weight_id)
-                rows.extend((factor.i, factor.j))
-                cols.extend((factor.j, factor.i))
-                vals.extend((w, w))
-                edges.append((factor.i, factor.j))
-            else:
-                raise TypeError(
-                    "ChromaticGibbsSampler supports only pairwise graphs; "
-                    f"found {type(factor).__name__}"
-                )
-        self.coupling = sp.csr_matrix((vals, (rows, cols)), shape=(n, n))
-        self.field = h
+        weights = np.asarray(graph.weights.values_array(), dtype=np.float64)
+        # The per-variable Ising CSR slices already list every edge from
+        # both endpoints, so they form the symmetric coupling matrix
+        # directly (duplicate column entries sum under matvec, matching
+        # parallel edges).
+        self.coupling = sp.csr_matrix(
+            (
+                weights[compiled.ising_wid],
+                compiled.ising_other,
+                compiled.ising_indptr,
+            ),
+            shape=(n, n),
+        )
+        if compiled.bias_wid.size:
+            self.field = np.bincount(
+                compiled.bias_var,
+                weights=weights[compiled.bias_wid],
+                minlength=n,
+            )
+        else:
+            self.field = np.zeros(n, dtype=np.float64)
+        colors = _greedy_coloring_csr(
+            compiled.ising_indptr, compiled.ising_other, n
+        )
         evidence_mask = graph.evidence_mask()
-        self.color_classes = [
-            cls[~evidence_mask[cls]] for cls in greedy_coloring(n, edges)
-        ]
-        self.color_classes = [cls for cls in self.color_classes if len(cls)]
+        self.color_classes = []
+        for c in range(int(colors.max()) + 1 if n else 0):
+            cls = np.flatnonzero(colors == c)
+            cls = cls[~evidence_mask[cls]]
+            if len(cls):
+                self.color_classes.append(cls)
         self.num_colors = len(self.color_classes)
         self._evidence_mask = evidence_mask
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graph.compiled import CompiledFactorGraph
 from repro.graph.factor_graph import FactorGraph
 from repro.inference.gibbs import GibbsSampler
 from repro.util.rng import as_generator
@@ -43,8 +44,11 @@ def sweeps_to_marginal(
     unit of the paper's Figure 13 y-axis).
     """
     rng = as_generator(seed)
+    # One flat-array compilation (and one cached scan plan) shared by the
+    # whole ensemble; each chain keeps only its own sampler state.
+    compiled = CompiledFactorGraph(graph)
     chains = [
-        GibbsSampler(graph, seed=rng, initial=initial)
+        GibbsSampler(graph, seed=rng, initial=initial, compiled=compiled)
         for _ in range(num_chains)
     ]
     num_free = len(graph.free_variables())

@@ -1,9 +1,13 @@
 """Sequential-scan Gibbs sampling (the paper's inference workhorse, §2.5).
 
 Each sweep visits every free variable once and resamples it from its
-conditional, which :class:`~repro.graph.compiled.GibbsCache` evaluates in
-O(degree).  Evidence variables stay clamped, which is exactly how the
-E-step ("conditioned chain") of weight learning is run as well.
+conditional.  The hot path runs over the flat-array compilation of
+:mod:`repro.graph.compiled`: the scan order is pre-partitioned into
+blocks of consecutive, mutually factor-independent variables, and each
+block's conditionals are evaluated in one vectorised step — exactly
+equivalent to the sequential scan, but at array speed.  Evidence
+variables stay clamped, which is exactly how the E-step ("conditioned
+chain") of weight learning is run as well.
 """
 
 from __future__ import annotations
@@ -24,6 +28,16 @@ def _sigmoid(x: float) -> float:
     return e / (1.0 + e)
 
 
+def _sigmoid_vec(x: np.ndarray) -> np.ndarray:
+    """Numerically stable element-wise sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
 class GibbsSampler:
     """Markov-chain Gibbs sampler over a factor graph.
 
@@ -39,7 +53,14 @@ class GibbsSampler:
     randomize_scan:
         When True, each sweep visits free variables in a fresh random
         order; when False (default) in id order.  Random scan mixes
-        slightly better on adversarial structures; id order is faster.
+        slightly better on adversarial structures; id order is faster
+        (it uses the precompiled block plan).
+    compiled:
+        Optional shared :class:`CompiledFactorGraph`.  It may have been
+        compiled from a *different* graph object as long as the factor
+        structure is identical (e.g. the conditioned/free chain pair of
+        SGD learning shares one compilation); the scan plan is derived
+        from ``graph``'s own evidence.
     """
 
     def __init__(
@@ -52,14 +73,15 @@ class GibbsSampler:
     ) -> None:
         self.graph = graph
         self.compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
+        self.plan = self.compiled.plan(graph)
         self.rng = as_generator(seed)
         self.randomize_scan = randomize_scan
         if initial is None:
             self.state = graph.initial_assignment(self.rng)
         else:
             self.state = np.array(initial, dtype=bool)
-            for var, value in graph.evidence.items():
-                self.state[var] = value
+            ev_vars, ev_vals = graph.evidence_arrays()
+            self.state[ev_vars] = ev_vals
         self.cache = GibbsCache(self.compiled, self.state)
         self.sweeps_done = 0
 
@@ -67,18 +89,49 @@ class GibbsSampler:
 
     def sweep(self) -> None:
         """One full pass over the free variables."""
-        order = self.compiled.free_vars
-        if self.randomize_scan:
-            order = self.rng.permutation(order)
-        uniforms = self.rng.random(len(order))
-        state = self.state
         cache = self.cache
-        for u, var in zip(uniforms, order):
-            delta = cache.delta_energy(var, state)
-            p_true = _sigmoid(delta)
-            new_value = u < p_true
-            if new_value != state[var]:
-                cache.commit_flip(var, new_value, state)
+        state = self.state
+        cache.refresh_weights(state)
+
+        if self.randomize_scan:
+            order = self.rng.permutation(self.plan.free_vars)
+            uniforms = self.rng.random(len(order))
+            for u, var in zip(uniforms, order):
+                var = int(var)
+                delta = cache.delta_energy(var, state)
+                new_value = bool(u < _sigmoid(delta))
+                if new_value != bool(state[var]):
+                    cache.commit_flip(var, new_value, state)
+            self.sweeps_done += 1
+            return
+
+        uniforms = self.rng.random(len(self.plan.free_vars))
+        offset = 0
+        for block in self.plan.blocks:
+            size = block.vars.size
+            u_block = uniforms[offset : offset + size]
+            offset += size
+            if block.use_batch:
+                deltas = cache.delta_energy_block(block, state)
+                new_values = u_block < _sigmoid_vec(deltas)
+                changed = new_values != state[block.vars]
+                if changed.any():
+                    if block.pure_pairwise:
+                        cache.commit_flips_pairwise(
+                            block.vars[changed], new_values[changed], state
+                        )
+                    else:
+                        for v, nv in zip(
+                            block.vars[changed], new_values[changed]
+                        ):
+                            cache.commit_flip(int(v), bool(nv), state)
+            else:
+                for k in range(size):
+                    var = int(block.vars[k])
+                    delta = cache.delta_energy(var, state)
+                    new_value = bool(u_block[k] < _sigmoid(delta))
+                    if new_value != bool(state[var]):
+                        cache.commit_flip(var, new_value, state)
         self.sweeps_done += 1
 
     def run(self, num_sweeps: int) -> np.ndarray:

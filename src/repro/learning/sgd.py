@@ -78,8 +78,15 @@ class SGDLearner:
         for var in list(self.free_graph.evidence):
             self.free_graph.clear_evidence(var)
 
-        self._conditioned = GibbsSampler(graph, seed=self.rng)
-        self._free = GibbsSampler(self.free_graph, seed=self.rng)
+        # Both chains share one flat-array compilation (identical factor
+        # structure; each sampler derives its own scan plan from its
+        # graph's evidence).  Weight updates land via the per-sweep
+        # weights-vector refresh, so no recompilation is ever needed.
+        self._compiled = CompiledFactorGraph(graph)
+        self._conditioned = GibbsSampler(graph, seed=self.rng, compiled=self._compiled)
+        self._free = GibbsSampler(
+            self.free_graph, seed=self.rng, compiled=self._compiled
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -121,11 +128,10 @@ class SGDLearner:
         evidence = self.graph.evidence
         if not evidence:
             return 0.0
-        compiled = CompiledFactorGraph(self.free_graph)
         state = self._conditioned.state.copy()
-        for var, value in evidence.items():
-            state[var] = value
-        cache = GibbsCache(compiled, state)
+        ev_vars, ev_vals = self.graph.evidence_arrays()
+        state[ev_vars] = ev_vals
+        cache = GibbsCache(self._compiled, state)
         total = 0.0
         for var, value in evidence.items():
             p_true = _sigmoid(cache.delta_energy(var, state))

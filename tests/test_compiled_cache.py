@@ -29,8 +29,18 @@ def brute_force_delta(graph, x, var):
     return graph.energy(x1) - graph.energy(x0)
 
 
-def random_rule_graph(seed: int, num_vars: int = 6, num_factors: int = 8) -> FactorGraph:
-    """Random graph mixing all three factor kinds and semantics."""
+def random_rule_graph(
+    seed: int,
+    num_vars: int = 6,
+    num_factors: int = 8,
+    slow_paths: bool = False,
+) -> FactorGraph:
+    """Random graph mixing all three factor kinds and semantics.
+
+    With ``slow_paths=True`` some rule factors deliberately put the head
+    in their own body or duplicate a literal's variable within one
+    grounding, exercising the brute-force slow path.
+    """
     rng = np.random.default_rng(seed)
     fg = FactorGraph()
     variables = [fg.add_variable() for _ in range(num_vars)]
@@ -52,6 +62,14 @@ def random_rule_graph(seed: int, num_vars: int = 6, num_factors: int = 8) -> Fac
                     (int(rng.integers(num_vars)), bool(rng.integers(2)))
                     for _ in range(size)
                 ]
+                if slow_paths and rng.random() < 0.5:
+                    if rng.random() < 0.5:
+                        # Head appears in its own body.
+                        lits.append((head, bool(rng.integers(2))))
+                    else:
+                        # Duplicated variable within one grounding.
+                        dup = lits[int(rng.integers(len(lits)))][0]
+                        lits.append((dup, bool(rng.integers(2))))
                 groundings.append(lits)
             fg.add_rule_factor(
                 wid, head, groundings, semantics[int(rng.integers(3))]
@@ -63,11 +81,44 @@ class TestCompiledStructure:
     def test_incidences_cover_all_factors(self):
         fg = implication_graph()
         compiled = CompiledFactorGraph(fg)
-        # Variable q (0) is head of the single rule factor.
-        assert compiled.head_of[0] == [0]
-        # a, b, c appear in bodies.
-        assert {inc[0] for inc in compiled.body_of[1]} == {0}
-        assert len(compiled.body_of[2]) == 2  # b occurs in both groundings
+        # Variable q (0) is head of the single rule factor (dense rule 0).
+        assert compiled.py_head[0] == [0]
+        assert compiled.head_ri[
+            compiled.head_indptr[0] : compiled.head_indptr[1]
+        ].tolist() == [0]
+        # a, b, c appear in bodies; all incidences belong to rule 0.
+        a_slice = slice(compiled.body_indptr[1], compiled.body_indptr[2])
+        assert set(compiled.body_ri[a_slice].tolist()) == {0}
+        # b occurs in both groundings.
+        assert compiled.body_indptr[3] - compiled.body_indptr[2] == 2
+
+    def test_csr_arrays_consistent(self):
+        fg = implication_graph()
+        compiled = CompiledFactorGraph(fg)
+        assert compiled.num_rules == 1
+        assert compiled.num_groundings == 2
+        assert compiled.grounding_ri.tolist() == [0, 0]
+        assert compiled.lit_gg.size == compiled.lit_var.size == 4
+        # Flat body arrays and the Python mirror agree.
+        for var in range(fg.num_vars):
+            lo, hi = compiled.body_indptr[var], compiled.body_indptr[var + 1]
+            mirror = [
+                (ri, gg, pos)
+                for ri, lits in compiled.py_body[var]
+                for gg, pos in lits
+            ]
+            flat = list(
+                zip(
+                    compiled.body_ri[lo:hi].tolist(),
+                    compiled.body_gg[lo:hi].tolist(),
+                    compiled.body_pos[lo:hi].tolist(),
+                )
+            )
+            assert mirror == flat
+
+    def test_pairwise_flag(self):
+        assert CompiledFactorGraph(chain_ising_graph(4)).is_pairwise
+        assert not CompiledFactorGraph(voting_graph(2, 2)).is_pairwise
 
     def test_self_loop_rule_goes_to_slow_path(self):
         fg = FactorGraph()
@@ -156,4 +207,112 @@ class TestGibbsCacheCorrectness:
         compiled = CompiledFactorGraph(fg)
         x = np.zeros(10, dtype=bool)
         cache = GibbsCache(compiled, x)
-        assert not cache.unsat and not cache.nsat
+        assert cache.unsat.size == 0 and cache.nsat.size == 0
+
+
+class TestRandomizedEquivalence:
+    """Randomized equivalence of the flat kernels against brute force,
+    including slow-path factors (head-in-body, duplicated literals)."""
+
+    @given(st.integers(min_value=0, max_value=300), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_delta_energy_matches_brute_force_with_slow_paths(self, seed, data):
+        fg = random_rule_graph(seed, num_vars=7, num_factors=10, slow_paths=True)
+        compiled = CompiledFactorGraph(fg)
+        rng = np.random.default_rng(seed + 1)
+        x = rng.random(fg.num_vars) < 0.5
+        cache = GibbsCache(compiled, x)
+        var = data.draw(st.integers(min_value=0, max_value=fg.num_vars - 1))
+        assert cache.delta_energy(var, x) == pytest.approx(
+            brute_force_delta(fg, x, var), abs=1e-9
+        )
+
+    @given(st.integers(min_value=0, max_value=150))
+    @settings(max_examples=25, deadline=None)
+    def test_hundred_random_flips_stay_consistent(self, seed):
+        fg = random_rule_graph(seed, num_vars=8, num_factors=12, slow_paths=True)
+        compiled = CompiledFactorGraph(fg)
+        rng = np.random.default_rng(seed)
+        x = rng.random(fg.num_vars) < 0.5
+        cache = GibbsCache(compiled, x)
+        for _ in range(100):
+            var = int(rng.integers(fg.num_vars))
+            cache.commit_flip(var, bool(rng.integers(2)), x)
+        cache.check_consistency(x)
+        for var in range(fg.num_vars):
+            assert cache.delta_energy(var, x) == pytest.approx(
+                brute_force_delta(fg, x, var), abs=1e-9
+            )
+
+    def test_batched_kernel_matches_scalar(self):
+        # Wide graph with disjoint rule factors so the plan forms real
+        # batched blocks, including head and body incidences.
+        from repro.graph.compiled import _BATCH_MIN
+        from repro.inference.gibbs import GibbsSampler
+
+        rng = np.random.default_rng(11)
+        fg = FactorGraph()
+        num_groups = 40
+        # Same-factor variables are spaced num_groups apart in id (scan)
+        # order, so consecutive variables share no factor and the planner
+        # forms large batched blocks with head AND body incidences.
+        heads = list(fg.add_variables(num_groups))
+        bodies = list(fg.add_variables(2 * num_groups))
+        for g in range(num_groups):
+            wid = fg.weights.intern(("r", g), initial=float(rng.normal(0, 0.8)))
+            fg.add_rule_factor(
+                wid,
+                heads[g],
+                [
+                    [(bodies[g], bool(rng.integers(2)))],
+                    [(bodies[num_groups + g], bool(rng.integers(2)))],
+                ],
+                list(Semantics)[g % 3],
+            )
+            wb = fg.weights.intern(("b", g), initial=float(rng.normal(0, 0.5)))
+            for v in (heads[g], bodies[g], bodies[num_groups + g]):
+                fg.add_bias_factor(wb, v)
+        sampler = GibbsSampler(fg, seed=0)
+        assert any(
+            b.use_batch and b.vars.size >= _BATCH_MIN
+            for b in sampler.plan.blocks
+        )
+        x = rng.random(fg.num_vars) < 0.5
+        cache = GibbsCache(CompiledFactorGraph(fg), x)
+        for block in sampler.plan.blocks:
+            if not block.use_batch:
+                continue
+            batched = cache.delta_energy_block(block, x)
+            for k, var in enumerate(block.vars):
+                assert batched[k] == pytest.approx(
+                    brute_force_delta(fg, x, int(var)), abs=1e-9
+                )
+
+    def test_evidence_set_after_compilation_respected(self):
+        from repro.inference.gibbs import GibbsSampler
+
+        fg = chain_ising_graph(5, coupling=2.0)
+        compiled = CompiledFactorGraph(fg)
+        fg.set_evidence(0, True)
+        sampler = GibbsSampler(fg, seed=0, compiled=compiled)
+        assert 0 not in sampler.plan.free_vars.tolist()
+        worlds = sampler.sample_worlds(50)
+        assert worlds[:, 0].all()
+
+    def test_sweep_leaves_cache_consistent(self):
+        from repro.inference.gibbs import GibbsSampler
+
+        fg = random_rule_graph(42, num_vars=10, num_factors=14, slow_paths=True)
+        sampler = GibbsSampler(fg, seed=5)
+        sampler.run(20)
+        sampler.cache.check_consistency(sampler.state)
+
+    def test_marginals_match_exact_inference(self):
+        from repro.inference.exact import ExactInference
+        from repro.inference.gibbs import GibbsSampler
+        from repro.util.stats import max_marginal_error
+
+        fg = random_rule_graph(7, num_vars=6, num_factors=9, slow_paths=True)
+        exact = ExactInference(fg).marginals()
+        est = GibbsSampler(fg, seed=3).estimate_marginals(8000, burn_in=300)
+        assert max_marginal_error(est, exact) < 0.04
