@@ -8,9 +8,24 @@ and saves them under ``benchmark_results/`` for EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmark_results"
+
+
+def machine_info() -> dict:
+    """Hardware/runtime context stamped into every benchmark JSON record.
+
+    Throughput numbers (especially parallel scaling) are meaningless
+    without the core count they were measured on.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
 
 
 def emit(experiment_id: str, text: str) -> None:
@@ -25,8 +40,13 @@ def emit_json(experiment_id: str, record) -> None:
     """Print a JSON record and persist it to benchmark_results/<id>.json.
 
     Used by throughput benchmarks whose results are tracked across PRs as
-    machine-readable trajectories rather than figure tables.
+    machine-readable trajectories rather than figure tables.  All
+    benchmark JSON writing goes through here: the record is stamped with
+    :func:`machine_info` so trajectories from different machines are
+    distinguishable.
     """
+    if isinstance(record, dict):
+        record.setdefault("machine", machine_info())
     text = json.dumps(record, indent=2, sort_keys=True)
     print(f"\n===== {experiment_id} =====\n{text}\n")
     RESULTS_DIR.mkdir(exist_ok=True)

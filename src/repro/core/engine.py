@@ -48,6 +48,14 @@ class EngineConfig:
     variational_inference_samples: int = 150
     burn_in: int = 20
     seed: int | None = None
+    #: Sampling parallelism: >1 fills the materialization bundle with
+    #: parallel chains and runs Rerun inference on a sharded sampler
+    #: (see ``repro.inference.parallel``); 1 is the serial fallback.
+    #: Note for Rerun: every update changes the graph structure, so each
+    #: apply_update pays a fresh compile + worker-pool spawn — worthwhile
+    #: only when per-update sampling dominates that fixed cost (large
+    #: graphs / many inference samples).
+    n_workers: int = 1
     #: Lesion knobs — remove a strategy to reproduce Fig. 11.
     strategies: tuple = (SAMPLING, VARIATIONAL)
     #: False reproduces the NoWorkloadInfo baseline: sampling until the
@@ -80,7 +88,9 @@ class IncrementalEngine:
         self.current_graph = self.base_graph
         self.cumulative_delta: FactorGraphDelta | None = None
         self.rng = as_generator(self.config.seed)
-        self.sampling = SampleMaterialization(self.base_graph, seed=self.rng)
+        self.sampling = SampleMaterialization(
+            self.base_graph, seed=self.rng, n_workers=self.config.n_workers
+        )
         self.variational = VariationalMaterialization(
             self.base_graph, lam=self.config.variational_lam, seed=self.rng
         )
@@ -214,10 +224,16 @@ class RerunEngine:
     def apply_update(self, delta: FactorGraphDelta) -> InferenceOutcome:
         started = time.perf_counter()
         self.current_graph = delta.apply(self.current_graph)
-        sampler = make_sampler(self.current_graph, seed=self.rng)
-        marginals = sampler.estimate_marginals(
-            self.config.inference_samples, burn_in=self.config.burn_in
+        sampler = make_sampler(
+            self.current_graph, seed=self.rng, n_workers=self.config.n_workers
         )
+        try:
+            marginals = sampler.estimate_marginals(
+                self.config.inference_samples, burn_in=self.config.burn_in
+            )
+        finally:
+            if hasattr(sampler, "close"):
+                sampler.close()
         ev_vars, ev_vals = self.current_graph.evidence_arrays()
         marginals[ev_vars] = np.where(ev_vals, 1.0, 0.0)
         return InferenceOutcome(

@@ -3,10 +3,19 @@
 The materialization phase draws worlds from the original distribution
 with Gibbs sampling and stores them as a bit-matrix (the MCDB-style
 "tuple bundle": one bit per variable per sample — 100 samples cost <5% of
-the factor graph, per the paper).  The inference phase replays them as
-independent Metropolis–Hastings proposals against the updated
-distribution; samples are *consumed* across successive updates, and
-exhaustion triggers the optimizer's fallback rule.
+the factor graph, per the paper).  The bundle really is bit-packed
+(``np.packbits``: 8 variables per byte), so :meth:`storage_bits` reports
+true storage.  The inference phase replays the worlds as independent
+Metropolis–Hastings proposals against the updated distribution — rows
+are unpacked on demand for :class:`IndependentMH`; samples are
+*consumed* across successive updates, and exhaustion triggers the
+optimizer's fallback rule.
+
+With ``n_workers > 1`` the bundle is filled by parallel independent
+chains (one per worker, same shared compilation) within the sample quota
+or time budget — the paper's best-effort materialization policy (§3.3)
+parallelises trivially because samples from any mix of chains are still
+draws from ``Pr⁰``.
 """
 
 from __future__ import annotations
@@ -24,32 +33,63 @@ from repro.inference.metropolis import IndependentMH, MHResult
 from repro.util.rng import as_generator
 
 
-def make_sampler(graph: FactorGraph, seed=None, compiled=None):
-    """The fastest applicable sampler: chromatic for pairwise graphs.
+def make_sampler(graph: FactorGraph, seed=None, compiled=None, n_workers: int = 1):
+    """The fastest applicable sampler for ``graph``.
 
-    Passing an existing :class:`CompiledFactorGraph` skips recompilation
-    (callers that sample the same graph repeatedly should reuse one).
+    Serial (``n_workers=1``): chromatic for pairwise graphs, block-planned
+    Gibbs otherwise.  With ``n_workers > 1`` a
+    :class:`~repro.inference.parallel.ShardedGibbsSampler` spreads each
+    sweep across worker processes (callers own its ``close()``).  Passing
+    an existing :class:`CompiledFactorGraph` skips recompilation (callers
+    that sample the same graph repeatedly should reuse one).
     """
     if compiled is None:
         compiled = CompiledFactorGraph(graph)
+    if n_workers > 1:
+        from repro.inference.parallel import ShardedGibbsSampler
+
+        return ShardedGibbsSampler(
+            graph, n_workers=n_workers, seed=seed, compiled=compiled
+        )
     if graph.num_vars and compiled.is_pairwise:
         return ChromaticGibbsSampler(graph, seed=seed, compiled=compiled)
     return GibbsSampler(graph, seed=seed, compiled=compiled)
 
 
 class SampleMaterialization:
-    """Materialized worlds of ``Pr⁰`` plus a consumption cursor."""
+    """Materialized worlds of ``Pr⁰`` plus a consumption cursor.
 
-    def __init__(self, graph: FactorGraph, seed=None) -> None:
+    ``n_workers`` controls how many parallel chains fill the bundle
+    during :meth:`materialize`; 1 (default) keeps the serial sampler.
+    """
+
+    def __init__(self, graph: FactorGraph, seed=None, n_workers: int = 1) -> None:
         self.graph = graph
         self.rng = as_generator(seed)
-        self.samples = np.zeros((0, graph.num_vars), dtype=bool)
+        self.n_workers = n_workers
+        self._packed = np.zeros((0, self._row_bytes), dtype=np.uint8)
         self.base_marginals = np.zeros(graph.num_vars)
         self._cursor = 0
         self._compiled = None
         self.materialization_seconds = 0.0
 
     # ------------------------------------------------------------------ #
+
+    @property
+    def _row_bytes(self) -> int:
+        return (self.graph.num_vars + 7) // 8
+
+    @property
+    def samples(self) -> np.ndarray:
+        """The bundle as a ``(S, num_vars)`` boolean matrix (unpacked view)."""
+        return self._unpack(self._packed)
+
+    def _unpack(self, packed: np.ndarray) -> np.ndarray:
+        if packed.shape[0] == 0:
+            return np.zeros((0, self.graph.num_vars), dtype=bool)
+        return np.unpackbits(
+            packed, axis=1, count=self.graph.num_vars
+        ).astype(bool)
 
     def materialize(
         self,
@@ -67,37 +107,85 @@ class SampleMaterialization:
             raise ValueError("need num_samples or time_budget")
         if self._compiled is None:
             self._compiled = CompiledFactorGraph(self.graph)
-        sampler = make_sampler(self.graph, seed=self.rng, compiled=self._compiled)
         start = time.perf_counter()
+        if self.n_workers > 1:
+            packed, collected = self._materialize_parallel(
+                num_samples, time_budget, thin, burn_in, start
+            )
+        else:
+            packed, collected = self._materialize_serial(
+                num_samples, time_budget, thin, burn_in, start
+            )
+        self.materialization_seconds = time.perf_counter() - start
+        if collected:
+            self._packed = packed
+            self.base_marginals = self.samples.mean(axis=0)
+        self._cursor = 0
+        return self.samples_total
+
+    def _materialize_serial(self, num_samples, time_budget, thin, burn_in, start):
+        sampler = make_sampler(self.graph, seed=self.rng, compiled=self._compiled)
         sampler.run(burn_in)
-        collected = []
+        if num_samples is not None and time_budget is None:
+            # Known quota: preallocate the packed matrix, no list growth.
+            packed = np.empty((num_samples, self._row_bytes), dtype=np.uint8)
+            for s in range(num_samples):
+                sampler.run(thin)
+                packed[s] = np.packbits(sampler.state)
+            return packed, num_samples
+        rows = []
         while True:
-            if num_samples is not None and len(collected) >= num_samples:
+            if num_samples is not None and len(rows) >= num_samples:
                 break
             if time_budget is not None and time.perf_counter() - start >= time_budget:
                 break
             sampler.run(thin)
-            collected.append(sampler.state.copy())
-        self.materialization_seconds = time.perf_counter() - start
-        if collected:
-            self.samples = np.asarray(collected, dtype=bool)
-            self.base_marginals = self.samples.mean(axis=0)
-        self._cursor = 0
-        return len(self.samples)
+            rows.append(np.packbits(sampler.state))
+        if not rows:
+            return np.zeros((0, self._row_bytes), dtype=np.uint8), 0
+        return np.stack(rows), len(rows)
+
+    def _materialize_parallel(self, num_samples, time_budget, thin, burn_in, start):
+        from repro.inference.parallel import ParallelChainEnsemble
+
+        with ParallelChainEnsemble(
+            self.graph,
+            num_chains=self.n_workers,
+            n_workers=self.n_workers,
+            seed=self.rng,
+            compiled=self._compiled,
+        ) as ensemble:
+            if time_budget is not None:
+                # Honor the caller's budget like the serial path does:
+                # workers clock locally from request receipt, so charge
+                # pool startup against the budget rather than on top.
+                time_budget = max(
+                    time_budget - (time.perf_counter() - start), 0.0
+                )
+            packed, collected = ensemble.sample_worlds_packed(
+                num_samples=num_samples,
+                time_budget=time_budget,
+                thin=thin,
+                burn_in=burn_in,
+            )
+        if not collected:
+            return np.zeros((0, self._row_bytes), dtype=np.uint8), 0
+        return packed, collected
 
     # ------------------------------------------------------------------ #
 
     @property
     def samples_total(self) -> int:
-        return len(self.samples)
+        return len(self._packed)
 
     @property
     def samples_remaining(self) -> int:
-        return max(0, len(self.samples) - self._cursor)
+        return max(0, len(self._packed) - self._cursor)
 
     def storage_bits(self) -> int:
-        """Bundle size: one bit per variable per sample."""
-        return self.samples.size
+        """True bundle storage: bit-packed rows, 8 variables per byte
+        (the final byte of each row is padded)."""
+        return self._packed.size * 8
 
     def infer(
         self,
@@ -111,9 +199,14 @@ class SampleMaterialization:
         successive updates first).  Consumes up to ``num_steps`` stored
         samples from the cursor; ``result.exhausted`` signals fallback.
         """
-        available = self.samples[self._cursor :]
         if num_steps is None:
-            num_steps = len(available)
+            num_steps = self.samples_remaining
+        # Unpack only the rows this run can consume: handing IndependentMH
+        # exactly ``num_steps`` rows preserves its exhaustion semantics
+        # (``exhausted`` iff fewer rows than requested steps remain).
+        available = self._unpack(
+            self._packed[self._cursor : self._cursor + num_steps]
+        )
         mh = IndependentMH(self.graph, delta, available, seed=self.rng)
         result = mh.run(num_steps, keep_chain=keep_chain)
         self._cursor += result.proposals_used
@@ -121,8 +214,10 @@ class SampleMaterialization:
 
     def probe_acceptance(self, delta: FactorGraphDelta, probe: int = 30) -> float:
         """Estimate the acceptance rate without consuming the bundle."""
-        available = self.samples[self._cursor :]
-        if len(available) == 0:
+        if self.samples_remaining == 0:
             return 0.0
+        available = self._unpack(
+            self._packed[self._cursor : self._cursor + probe]
+        )
         mh = IndependentMH(self.graph, delta, available, seed=self.rng)
         return mh.estimate_acceptance_rate(probe)

@@ -420,6 +420,326 @@ class SweepPlan:
     def num_blocks(self) -> int:
         return len(self.blocks)
 
+    def block_costs(self) -> np.ndarray:
+        """Analytic per-block sweep-cost estimates (arbitrary units).
+
+        The model charges each block the fixed overhead of its kernel plus
+        a per-variable and per-incidence term, with the scalar kernel's
+        per-variable Python overhead weighted far above the batched
+        kernel's amortised numpy calls.  Only *relative* costs matter —
+        they drive the balance objective of :func:`partition_plan`.  Pass
+        measured timings (``repro.inference.parallel.measure_block_costs``)
+        for a calibrated partition instead.
+        """
+        c = self.compiled
+        degree = (
+            np.diff(c.bias_indptr)
+            + np.diff(c.ising_indptr)
+            + np.diff(c.head_indptr)
+            + np.diff(c.body_indptr)
+            + np.diff(c.slow_indptr)
+        )
+        costs = np.empty(len(self.blocks), dtype=np.float64)
+        for bi, block in enumerate(self.blocks):
+            vars_ = block.vars
+            incidences = int(degree[vars_].sum())
+            if block.use_batch:
+                costs[bi] = (
+                    _COST_BATCH_BLOCK
+                    + _COST_BATCH_VAR * vars_.size
+                    + _COST_BATCH_INC * incidences
+                )
+            else:
+                costs[bi] = (
+                    _COST_SCALAR_VAR * vars_.size + _COST_SCALAR_INC * incidences
+                )
+        return costs
+
+
+# Cost-model constants for :meth:`SweepPlan.block_costs` — rough relative
+# weights of the batched vs. scalar kernels (one numpy-call overhead is
+# worth tens of per-incidence array operations; a scalar-kernel variable
+# costs a few incidences' worth of interpreter time).
+_COST_BATCH_BLOCK = 12.0
+_COST_BATCH_VAR = 1.0
+_COST_BATCH_INC = 0.25
+_COST_SCALAR_VAR = 3.0
+_COST_SCALAR_INC = 1.0
+
+
+class ShardPlan:
+    """A partition of a :class:`SweepPlan` into worker shards + boundary.
+
+    ``shards[s]`` holds the indices (into ``plan.blocks``) of the blocks
+    whose variables form worker ``s``'s *interior*.  The partition
+    guarantees that **no factor spans two different shards' interior
+    blocks**, so all interiors can be swept concurrently and the result
+    is equivalent to some sequential scan order.  Blocks touching
+    cross-shard factors are collected into ``boundary`` (original scan
+    order) together with ``boundary_owner`` (the shard each was assigned
+    to before demotion).  The two synchronization modes of
+    :class:`~repro.inference.parallel.ShardedGibbsSampler` treat the
+    boundary differently: *serial* resamples boundary blocks in the
+    controller after the parallel phase (an exact Gibbs scan order);
+    *stale* leaves them with their owning shard and lets cross-shard
+    reads lag by one sweep.
+    """
+
+    def __init__(self, plan: SweepPlan, shards, boundary, boundary_owner, costs) -> None:
+        self.plan = plan
+        self.shards = [np.asarray(s, dtype=np.int64) for s in shards]
+        self.boundary = np.asarray(boundary, dtype=np.int64)
+        self.boundary_owner = np.asarray(boundary_owner, dtype=np.int64)
+        self.block_costs = np.asarray(costs, dtype=np.float64)
+        blocks = plan.blocks
+
+        def _vars_of(block_ids):
+            if len(block_ids) == 0:
+                return np.zeros(0, dtype=np.int64)
+            return np.concatenate([blocks[bi].vars for bi in block_ids])
+
+        self.shard_vars = [_vars_of(shard) for shard in self.shards]
+        self.boundary_vars = _vars_of(self.boundary)
+        self.shard_costs = np.array(
+            [float(self.block_costs[s].sum()) for s in self.shards]
+        )
+        self.boundary_cost = float(self.block_costs[self.boundary].sum())
+
+    def owned_blocks(self, shard: int) -> np.ndarray:
+        """Interior + owned-boundary block ids of ``shard`` in scan order
+        (the sweep unit of the *stale* synchronization mode)."""
+        owned = np.concatenate(
+            [self.shards[shard], self.boundary[self.boundary_owner == shard]]
+        )
+        owned.sort()
+        return owned
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def boundary_fraction(self) -> float:
+        """Fraction of total sweep cost paid in the serial boundary phase."""
+        total = float(self.block_costs.sum())
+        return self.boundary_cost / total if total else 0.0
+
+    def _var_shard(self, num_vars: int) -> np.ndarray:
+        """-1 for evidence/unassigned, -2 for boundary, else shard id."""
+        var_shard = np.full(num_vars, -1, dtype=np.int64)
+        blocks = self.plan.blocks
+        for s, shard in enumerate(self.shards):
+            for bi in shard:
+                var_shard[blocks[bi].vars] = s
+        for bi in self.boundary:
+            var_shard[blocks[bi].vars] = -2
+        return var_shard
+
+    def validate(self, compiled: "CompiledFactorGraph") -> None:
+        """Assert no factor couples two different shards' interiors.
+
+        Walks every factor incidence in the compiled arrays (Ising edges,
+        rule head/body memberships, slow-path factors) and checks that the
+        interior variables it touches all live in one shard.  Raises
+        ``AssertionError`` on violation.
+        """
+        var_shard = self._var_shard(compiled.num_vars)
+
+        def _check(members, what):
+            shards = {int(var_shard[v]) for v in members if var_shard[v] >= 0}
+            if len(shards) > 1:
+                raise AssertionError(
+                    f"{what} spans interior blocks of shards {sorted(shards)}"
+                )
+
+        c = compiled
+        a = var_shard[c.ising_row]
+        b = var_shard[c.ising_other]
+        bad = (a >= 0) & (b >= 0) & (a != b)
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            raise AssertionError(
+                f"Ising edge ({int(c.ising_row[k])}, {int(c.ising_other[k])}) "
+                f"spans shards {int(a[k])} and {int(b[k])}"
+            )
+        if c.num_rules:
+            # Group literals by rule once (linear), not one full literal
+            # scan per rule.
+            ri_of_lit = c.grounding_ri[c.lit_gg]
+            order = np.argsort(ri_of_lit, kind="stable")
+            sorted_vars = c.lit_var[order]
+            bounds = np.searchsorted(ri_of_lit[order], np.arange(c.num_rules + 1))
+            for ri in range(c.num_rules):
+                members = [int(c.rule_head[ri])]
+                members.extend(sorted_vars[bounds[ri] : bounds[ri + 1]].tolist())
+                _check(members, f"rule factor {ri}")
+        for si, factor in enumerate(c.slow_list):
+            _check(factor.variables(), f"slow factor {si}")
+
+
+def partition_plan(
+    compiled: CompiledFactorGraph,
+    plan: SweepPlan,
+    n_shards: int,
+    block_costs=None,
+    capacity_slack: float = 0.15,
+) -> ShardPlan:
+    """Partition ``plan``'s blocks into balanced, factor-disjoint shards.
+
+    Greedy min-cut assignment in the LDG (linear deterministic greedy)
+    style: blocks are streamed in descending cost order and each goes to
+    the shard maximising ``affinity · (1 − load/capacity)`` where
+    *affinity* counts factor links (from the CSR edge arrays) to blocks
+    already on that shard and *capacity* is the balanced share plus
+    ``capacity_slack``.  Any block left touching a cross-shard factor is
+    then demoted to the serial ``boundary`` set, which restores the
+    invariant checked by :meth:`ShardPlan.validate`: no factor spans two
+    shards' interiors.
+    """
+    blocks = plan.blocks
+    B = len(blocks)
+    costs = (
+        plan.block_costs()
+        if block_costs is None
+        else np.asarray(block_costs, dtype=np.float64)
+    )
+    if B == 0:
+        return ShardPlan(
+            plan,
+            [np.zeros(0, np.int64) for _ in range(max(n_shards, 1))],
+            np.zeros(0, np.int64),
+            np.zeros(0, np.int64),
+            costs,
+        )
+    if n_shards <= 1:
+        return ShardPlan(
+            plan,
+            [np.arange(B, dtype=np.int64)],
+            np.zeros(0, np.int64),
+            np.zeros(0, np.int64),
+            costs,
+        )
+
+    c = compiled
+    var_block = np.full(c.num_vars, -1, dtype=np.int64)
+    for bi, block in enumerate(blocks):
+        var_block[block.vars] = bi
+
+    # ---- block-level affinity edges from the CSR incidence arrays -------
+    pair_a, pair_b = [], []
+
+    def _add_pairs(a, b):
+        mask = (a >= 0) & (b >= 0) & (a != b)
+        if mask.any():
+            pair_a.append(a[mask])
+            pair_b.append(b[mask])
+
+    if c.ising_row.size:
+        # Each undirected edge appears twice, once per direction.
+        _add_pairs(var_block[c.ising_row], var_block[c.ising_other])
+    if c.lit_var.size:
+        # Star approximation: link every body-literal block to the rule's
+        # head block (and back) — cheap, and enough signal for the greedy
+        # assignment; exact cross detection happens in the demotion pass.
+        ri_of_lit = c.grounding_ri[c.lit_gg]
+        lit_blocks = var_block[c.lit_var]
+        head_blocks = var_block[c.rule_head][ri_of_lit]
+        _add_pairs(lit_blocks, head_blocks)
+        _add_pairs(head_blocks, lit_blocks)
+    for factor in c.slow_list:
+        members = sorted(
+            {int(var_block[v]) for v in factor.variables() if var_block[v] >= 0}
+        )
+        for i, a in enumerate(members):
+            for b in members[i + 1 :]:
+                pair_a.append(np.array([a, b]))
+                pair_b.append(np.array([b, a]))
+
+    if pair_a:
+        edge_a = np.concatenate(pair_a)
+        edge_b = np.concatenate(pair_b)
+        keys, weights = np.unique(edge_a.astype(np.int64) * B + edge_b, return_counts=True)
+        adj_src = keys // B
+        adj_dst = keys % B
+        adj_indptr = np.searchsorted(adj_src, np.arange(B + 1))
+    else:
+        adj_dst = np.zeros(0, dtype=np.int64)
+        weights = np.zeros(0, dtype=np.int64)
+        adj_indptr = np.zeros(B + 1, dtype=np.int64)
+
+    # ---- greedy balanced assignment ------------------------------------
+    total = float(costs.sum())
+    capacity = (total / n_shards) * (1.0 + capacity_slack) or 1.0
+    load = np.zeros(n_shards, dtype=np.float64)
+    shard_of = np.full(B, -1, dtype=np.int64)
+    order = np.argsort(-costs, kind="stable")
+    aff = np.zeros(n_shards, dtype=np.float64)
+    for bi in order:
+        bi = int(bi)
+        aff[:] = 0.0
+        lo, hi = adj_indptr[bi], adj_indptr[bi + 1]
+        for nb, w in zip(adj_dst[lo:hi], weights[lo:hi]):
+            s = shard_of[nb]
+            if s >= 0:
+                aff[s] += float(w)
+        score = aff * np.maximum(1.0 - load / capacity, 0.0)
+        best = int(score.argmax())
+        if score[best] <= 0.0:
+            best = int(load.argmin())
+        shard_of[bi] = best
+        load[best] += costs[bi]
+
+    # ---- demote blocks on cross-shard factors to the boundary ----------
+    var_shard = np.where(var_block >= 0, shard_of[var_block], -1)
+    is_boundary_block = np.zeros(B, dtype=bool)
+
+    def _mark_vars(vars_):
+        bs = var_block[vars_]
+        is_boundary_block[bs[bs >= 0]] = True
+
+    if c.ising_row.size:
+        a = var_shard[c.ising_row]
+        b = var_shard[c.ising_other]
+        cross = (a >= 0) & (b >= 0) & (a != b)
+        if cross.any():
+            _mark_vars(c.ising_row[cross])
+            _mark_vars(c.ising_other[cross])
+    if c.num_rules:
+        BIG = n_shards + 1
+        rule_min = np.full(c.num_rules, BIG, dtype=np.int64)
+        rule_max = np.full(c.num_rules, -1, dtype=np.int64)
+        head_shard = var_shard[c.rule_head]
+        np.minimum.at(
+            rule_min, np.arange(c.num_rules), np.where(head_shard >= 0, head_shard, BIG)
+        )
+        np.maximum.at(
+            rule_max, np.arange(c.num_rules), head_shard
+        )
+        if c.lit_var.size:
+            ri_of_lit = c.grounding_ri[c.lit_gg]
+            lit_shard = var_shard[c.lit_var]
+            np.minimum.at(
+                rule_min, ri_of_lit, np.where(lit_shard >= 0, lit_shard, BIG)
+            )
+            np.maximum.at(rule_max, ri_of_lit, lit_shard)
+        cross_rule = (rule_min < rule_max) & (rule_min < BIG)
+        if cross_rule.any():
+            _mark_vars(c.rule_head[cross_rule])
+            if c.lit_var.size:
+                _mark_vars(c.lit_var[cross_rule[c.grounding_ri[c.lit_gg]]])
+    for factor in c.slow_list:
+        members = np.fromiter(factor.variables(), dtype=np.int64)
+        shards = {int(s) for s in var_shard[members] if s >= 0}
+        if len(shards) > 1:
+            _mark_vars(members)
+
+    boundary = np.flatnonzero(is_boundary_block)
+    shards = [
+        np.flatnonzero((shard_of == s) & ~is_boundary_block)
+        for s in range(n_shards)
+    ]
+    return ShardPlan(plan, shards, boundary, shard_of[boundary], costs)
+
 
 class GibbsCache:
     """Mutable sampler state tied to one assignment.

@@ -86,6 +86,18 @@ def sem_code(semantics: Semantics) -> int:
     return _SEM_CODES[Semantics.coerce(semantics)]
 
 
+_SEM_FROM_CODE = {code: sem for sem, code in _SEM_CODES.items()}
+
+
+def sem_from_code(code: int) -> Semantics:
+    """Inverse of :func:`sem_code` (used when reconstructing a compiled
+    graph from its flat arrays, e.g. in sampler worker processes)."""
+    try:
+        return _SEM_FROM_CODE[int(code)]
+    except KeyError:
+        raise ValueError(f"unknown semantics code {code!r}") from None
+
+
 def g_code_array(code: int, n: np.ndarray) -> np.ndarray:
     """Vectorised ``g`` for a single semantics *code* (uniform batch)."""
     n = np.asarray(n, dtype=float)

@@ -8,12 +8,16 @@
   Gibbs for pairwise (Ising/bias) graphs via graph colouring.
 * :class:`~repro.inference.metropolis.IndependentMH` — the sampling
   approach's inference phase (§3.2.2): materialized samples as proposals.
+* :mod:`~repro.inference.parallel` — sharded multi-process sweeps and
+  parallel chain ensembles over shared-memory compiled arrays
+  (:class:`ShardedGibbsSampler`, :class:`ParallelChainEnsemble`).
 """
 
 from repro.inference.chromatic import ChromaticGibbsSampler
 from repro.inference.exact import ExactInference
 from repro.inference.gibbs import GibbsSampler
 from repro.inference.metropolis import IndependentMH, MHResult
+from repro.inference.parallel import ParallelChainEnsemble, ShardedGibbsSampler
 
 __all__ = [
     "ChromaticGibbsSampler",
@@ -21,4 +25,6 @@ __all__ = [
     "GibbsSampler",
     "IndependentMH",
     "MHResult",
+    "ParallelChainEnsemble",
+    "ShardedGibbsSampler",
 ]

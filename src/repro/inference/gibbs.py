@@ -38,6 +38,43 @@ def _sigmoid_vec(x: np.ndarray) -> np.ndarray:
     return out
 
 
+def sweep_blocks(cache, state, blocks, uniforms) -> None:
+    """Resample every variable of ``blocks`` in scan order, in place.
+
+    ``uniforms`` must hold one uniform draw per variable, concatenated in
+    block order.  This is the id-order sweep kernel shared by
+    :class:`GibbsSampler` and the shard workers of
+    :mod:`repro.inference.parallel`; both must consume randomness
+    identically for the serial/parallel equivalence guarantees to hold.
+    """
+    offset = 0
+    for block in blocks:
+        size = block.vars.size
+        u_block = uniforms[offset : offset + size]
+        offset += size
+        if block.use_batch:
+            deltas = cache.delta_energy_block(block, state)
+            new_values = u_block < _sigmoid_vec(deltas)
+            changed = new_values != state[block.vars]
+            if changed.any():
+                if block.pure_pairwise:
+                    cache.commit_flips_pairwise(
+                        block.vars[changed], new_values[changed], state
+                    )
+                else:
+                    for v, nv in zip(
+                        block.vars[changed], new_values[changed]
+                    ):
+                        cache.commit_flip(int(v), bool(nv), state)
+        else:
+            for k in range(size):
+                var = int(block.vars[k])
+                delta = cache.delta_energy(var, state)
+                new_value = bool(u_block[k] < _sigmoid(delta))
+                if new_value != bool(state[var]):
+                    cache.commit_flip(var, new_value, state)
+
+
 class GibbsSampler:
     """Markov-chain Gibbs sampler over a factor graph.
 
@@ -106,32 +143,7 @@ class GibbsSampler:
             return
 
         uniforms = self.rng.random(len(self.plan.free_vars))
-        offset = 0
-        for block in self.plan.blocks:
-            size = block.vars.size
-            u_block = uniforms[offset : offset + size]
-            offset += size
-            if block.use_batch:
-                deltas = cache.delta_energy_block(block, state)
-                new_values = u_block < _sigmoid_vec(deltas)
-                changed = new_values != state[block.vars]
-                if changed.any():
-                    if block.pure_pairwise:
-                        cache.commit_flips_pairwise(
-                            block.vars[changed], new_values[changed], state
-                        )
-                    else:
-                        for v, nv in zip(
-                            block.vars[changed], new_values[changed]
-                        ):
-                            cache.commit_flip(int(v), bool(nv), state)
-            else:
-                for k in range(size):
-                    var = int(block.vars[k])
-                    delta = cache.delta_energy(var, state)
-                    new_value = bool(u_block[k] < _sigmoid(delta))
-                    if new_value != bool(state[var]):
-                        cache.commit_flip(var, new_value, state)
+        sweep_blocks(cache, state, self.plan.blocks, uniforms)
         self.sweeps_done += 1
 
     def run(self, num_sweeps: int) -> np.ndarray:

@@ -1,0 +1,1046 @@
+"""Sharded multi-process Gibbs sampling and parallel chain ensembles.
+
+Inference is the inner subroutine of both learning and incremental
+materialization (paper §1, §3.3), so sampling throughput bounds the whole
+pipeline.  This module parallelises the flat-array kernel of
+:mod:`repro.graph.compiled` across OS processes in the spirit of
+DimmWitted-style NUMA-aware sampling (Ré et al. 2014), in two modes:
+
+**Sharded sweeps** (:class:`ShardedGibbsSampler`) — one Markov chain whose
+per-sweep work is split across workers.  The compiled CSR arrays are
+exported once into :mod:`multiprocessing.shared_memory` (workers attach
+zero-copy), the scan-order block plan is partitioned by
+:func:`~repro.graph.compiled.partition_plan` into balanced shards whose
+*interior* blocks share no factor, and every sweep runs one worker per
+shard.  Cross-shard state travels through a double-buffered shared
+assignment; two synchronization policies are offered:
+
+* ``sync="serial"`` — boundary blocks (those touching cross-shard
+  factors) are resampled serially by the controller after the parallel
+  phase.  Every variable is drawn from its exact full conditional, so
+  the chain is an ordinary Gibbs sampler with a fixed (parallel-friendly)
+  scan order.
+* ``sync="stale"`` — boundary blocks stay with their owning shard and
+  cross-shard reads lag by exactly one sweep (workers reconcile foreign
+  boundary flips from the previous sweep before sweeping).  This is the
+  classic synchronous/Hogwild-style approximation: higher parallel
+  fraction on low-locality graphs, at the price of a small, bounded
+  staleness bias.
+
+**Chain ensembles** (:class:`ParallelChainEnsemble`) — embarrassingly
+parallel: whole independent chains are farmed to workers, one
+:class:`~repro.graph.compiled.GibbsCache` per chain, all attached to the
+same shared compilation.  Used by ``inference.convergence`` (ensemble
+marginals per sweep), ``learning.sgd`` (conditioned + free persistent
+chains advance concurrently) and ``core.sampling`` (parallel chains fill
+the tuple bundle within the materialization budget).
+
+``n_workers=1`` always short-circuits to the in-process serial kernel —
+bit-identical to :class:`~repro.inference.gibbs.GibbsSampler` for the
+same seed — so every consumer keeps a zero-dependency fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import time
+import traceback
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.graph.compiled import (
+    CompiledFactorGraph,
+    GibbsCache,
+    ShardPlan,
+    SweepPlan,
+    _Block,
+    partition_plan,
+)
+from repro.graph.semantics import sem_from_code
+from repro.inference.gibbs import GibbsSampler, sweep_blocks
+from repro.util.rng import as_generator, spawn
+
+__all__ = [
+    "SharedGraphExport",
+    "GibbsWorkerPool",
+    "ShardedGibbsSampler",
+    "ParallelChainEnsemble",
+    "measure_block_costs",
+    "default_context",
+]
+
+#: Flat arrays of :class:`CompiledFactorGraph` exported into shared memory.
+_EXPORT_ARRAYS = (
+    "bias_indptr",
+    "bias_wid",
+    "bias_var",
+    "ising_indptr",
+    "ising_other",
+    "ising_wid",
+    "ising_row",
+    "rule_head",
+    "rule_wid",
+    "rule_sem",
+    "grounding_ri",
+    "lit_gg",
+    "lit_var",
+    "lit_pos",
+    "head_indptr",
+    "head_ri",
+    "body_indptr",
+    "body_ri",
+    "body_gg",
+    "body_pos",
+    "bseg_indptr",
+    "bseg_start",
+    "bseg_ri",
+    "slow_indptr",
+    "slow_idx",
+    "evidence_mask",
+    "free_vars",
+    "_force_singleton",
+    "_needs_scalar",
+    "_nbr_indptr",
+    "_nbr_idx",
+)
+
+
+def default_context() -> mp.context.BaseContext:
+    """The preferred multiprocessing context: ``fork`` where available
+    (cheap worker start; Linux), else the platform default."""
+    if "fork" in mp.get_all_start_methods():
+        return mp.get_context("fork")
+    return mp.get_context()
+
+
+def _align(offset: int, alignment: int = 16) -> int:
+    return (offset + alignment - 1) // alignment * alignment
+
+
+class SharedGraphExport:
+    """Zero-copy export of a compiled factor graph into shared memory.
+
+    All flat CSR arrays (plus the weight vector and a version cell) are
+    copied once into a single :class:`multiprocessing.shared_memory`
+    segment; worker processes attach by name and rebuild numpy views over
+    the same pages — no per-worker copy of the graph structure.  Extra
+    named regions (e.g. the double-buffered assignment of the sharded
+    sampler, or an ensemble state matrix) can be requested at creation.
+
+    Weight updates flow through :meth:`push_weights`: the controller
+    writes the new values and version between sweeps (workers are blocked
+    on their command pipe at that point, so no tearing), and each worker's
+    version-gated ``GibbsCache.refresh_weights`` picks them up on its next
+    sweep, exactly like the serial kernel.
+    """
+
+    def __init__(self, compiled: CompiledFactorGraph, extra=None) -> None:
+        self.compiled = compiled
+        manifest = []
+        offset = 0
+        for name in _EXPORT_ARRAYS:
+            arr = np.ascontiguousarray(getattr(compiled, name))
+            offset = _align(offset)
+            manifest.append((name, offset, arr.shape, arr.dtype.str))
+            offset += arr.nbytes
+
+        weights = np.asarray(
+            compiled.graph.weights.values_array(), dtype=np.float64
+        )
+        offset = _align(offset)
+        manifest.append(("__weights__", offset, weights.shape, weights.dtype.str))
+        offset += weights.nbytes
+        offset = _align(offset)
+        manifest.append(("__weights_version__", offset, (1,), np.dtype(np.int64).str))
+        offset += 8
+
+        for name, (shape, dtype) in (extra or {}).items():
+            dtype = np.dtype(dtype)
+            offset = _align(offset)
+            manifest.append((name, offset, tuple(shape), dtype.str))
+            offset += int(np.prod(shape)) * dtype.itemsize
+
+        self.manifest = manifest
+        self.shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        self._finalizer = weakref.finalize(
+            self, _cleanup_shm, self.shm, unlink=True
+        )
+        self._views = _map_views(self.shm, manifest)
+        for name in _EXPORT_ARRAYS:
+            src = np.ascontiguousarray(getattr(compiled, name))
+            if src.size:
+                self._views[name][...] = src
+        self._views["__weights__"][...] = weights
+        self._views["__weights_version__"][0] = compiled.graph.weights.version
+
+    def array(self, name: str) -> np.ndarray:
+        """Controller-side view of an exported or extra region."""
+        return self._views[name]
+
+    def push_weights(self, store) -> None:
+        """Publish the store's current values + version to the workers."""
+        values = np.asarray(store.values_array(), dtype=np.float64)
+        region = self._views["__weights__"]
+        if values.shape != region.shape:
+            raise ValueError(
+                f"weight store grew from {region.shape} to {values.shape} "
+                "after export; re-create the pool after interning new weights"
+            )
+        region[...] = values
+        self._views["__weights_version__"][0] = store.version
+
+    def spec(self) -> dict:
+        """Picklable worker-attach description (structure not in shm)."""
+        graph = self.compiled.graph
+        return {
+            "shm_name": self.shm.name,
+            "manifest": self.manifest,
+            "num_vars": self.compiled.num_vars,
+            "num_rules": self.compiled.num_rules,
+            "num_groundings": self.compiled.num_groundings,
+            "rule_sem_uniform": self.compiled.rule_sem_uniform,
+            "slow_list": pickle.dumps(self.compiled.slow_list),
+            "evidence": dict(graph.evidence),
+        }
+
+    def close(self) -> None:
+        """Detach and unlink the segment (idempotent)."""
+        self._finalizer()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def _cleanup_shm(shm, unlink: bool) -> None:
+    try:
+        shm.close()
+    except OSError:
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+def _map_views(shm, manifest) -> dict:
+    views = {}
+    for name, offset, shape, dtype in manifest:
+        views[name] = np.ndarray(
+            shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset
+        )
+    return views
+
+
+# --------------------------------------------------------------------- #
+# Worker-side graph reconstruction
+# --------------------------------------------------------------------- #
+
+
+class _StubWeights:
+    """Worker-side :class:`WeightStore` stand-in over the shm regions."""
+
+    def __init__(self, values: np.ndarray, version_cell: np.ndarray) -> None:
+        self._values = values
+        self._version_cell = version_cell
+
+    @property
+    def version(self) -> int:
+        return int(self._version_cell[0])
+
+    def values_array(self) -> np.ndarray:
+        return self._values
+
+    def value(self, weight_id: int) -> float:
+        return float(self._values[weight_id])
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+class _StubGraph:
+    """Worker-side graph stand-in: evidence + weights, no factor objects.
+
+    Provides exactly the surface the compiled kernels touch:
+    ``weights`` (version-gated values), the evidence map/mask/arrays and
+    ``initial_assignment`` — enough for ``CompiledFactorGraph.plan`` and
+    :class:`GibbsCache`.
+    """
+
+    def __init__(self, num_vars: int, evidence: dict, weights: _StubWeights) -> None:
+        self.num_vars = num_vars
+        self.weights = weights
+        self.evidence = dict(evidence)
+        count = len(self.evidence)
+        self._ev_vars = np.fromiter(self.evidence.keys(), dtype=np.int64, count=count)
+        self._ev_vals = np.fromiter(self.evidence.values(), dtype=bool, count=count)
+
+    def evidence_arrays(self):
+        return self._ev_vars, self._ev_vals
+
+    def evidence_mask(self) -> np.ndarray:
+        mask = np.zeros(self.num_vars, dtype=bool)
+        mask[self._ev_vars] = True
+        return mask
+
+    def free_variables(self):
+        return np.flatnonzero(~self.evidence_mask()).tolist()
+
+    def initial_assignment(self, rng=None) -> np.ndarray:
+        x = np.zeros(self.num_vars, dtype=bool)
+        if rng is not None:
+            x = rng.random(self.num_vars) < 0.5
+        x[self._ev_vars] = self._ev_vals
+        return x
+
+
+def _rebuild_python_mirrors(c: CompiledFactorGraph) -> None:
+    """Derive the scalar-kernel Python mirrors from the flat arrays."""
+    n = c.num_vars
+    ii, io, iw = c.ising_indptr, c.ising_other, c.ising_wid
+    c.py_ising = [
+        list(zip(io[ii[v] : ii[v + 1]].tolist(), iw[ii[v] : ii[v + 1]].tolist()))
+        for v in range(n)
+    ]
+    hi, hr = c.head_indptr, c.head_ri
+    c.py_head = [hr[hi[v] : hi[v + 1]].tolist() for v in range(n)]
+    py_body = []
+    for v in range(n):
+        s0, s1 = int(c.bseg_indptr[v]), int(c.bseg_indptr[v + 1])
+        end = int(c.body_indptr[v + 1])
+        starts = c.bseg_start[s0:s1].tolist() + [end]
+        segs = []
+        for k in range(s1 - s0):
+            a, b = starts[k], starts[k + 1]
+            segs.append(
+                (
+                    int(c.bseg_ri[s0 + k]),
+                    list(zip(c.body_gg[a:b].tolist(), c.body_pos[a:b].tolist())),
+                )
+            )
+        py_body.append(segs)
+    c.py_body = py_body
+    si, sx = c.slow_indptr, c.slow_idx
+    c.py_slow = [sx[si[v] : si[v + 1]].tolist() for v in range(n)]
+    c._rule_head_l = c.rule_head.tolist()
+    c._rule_wid_l = c.rule_wid.tolist()
+    c._rule_sem_l = [sem_from_code(code) for code in c.rule_sem.tolist()]
+
+
+def attach_compiled(spec: dict):
+    """Rebuild a functional :class:`CompiledFactorGraph` from a spec.
+
+    Returns ``(compiled, shm, views)``; the caller owns closing ``shm``.
+    The heavy incidence arrays are zero-copy views of the shared segment;
+    only the Python mirrors for the scalar kernel (small, per-variable
+    lists) are materialised locally.
+    """
+    shm = shared_memory.SharedMemory(name=spec["shm_name"])
+    views = _map_views(shm, spec["manifest"])
+    c = CompiledFactorGraph.__new__(CompiledFactorGraph)
+    for name in _EXPORT_ARRAYS:
+        setattr(c, name, views[name])
+    c.num_vars = spec["num_vars"]
+    c.num_rules = spec["num_rules"]
+    c.num_groundings = spec["num_groundings"]
+    c.rule_sem_uniform = spec["rule_sem_uniform"]
+    c.slow_list = pickle.loads(spec["slow_list"])
+    c.slow_factors = {}
+    c.rule_factors = {}
+    c._plan_cache = {}
+    _rebuild_python_mirrors(c)
+    weights = _StubWeights(views["__weights__"], views["__weights_version__"])
+    c.graph = _StubGraph(c.num_vars, spec["evidence"], weights)
+    return c, shm, views
+
+
+# --------------------------------------------------------------------- #
+# Worker process
+# --------------------------------------------------------------------- #
+
+
+def _pack_worlds(worlds: list) -> tuple:
+    """Bit-pack a list of bool states into (uint8 matrix, count)."""
+    if not worlds:
+        return np.zeros((0, 0), dtype=np.uint8), 0
+    stacked = np.asarray(worlds, dtype=bool)
+    return np.packbits(stacked, axis=1), len(worlds)
+
+
+class _Worker:
+    """Dispatch table of one worker process (chains and/or one shard)."""
+
+    def __init__(self, spec: dict) -> None:
+        self.compiled, self.shm, self.views = attach_compiled(spec)
+        self.default_evidence = spec["evidence"]
+        self.chains = {}
+        self.shard = None
+
+    # ---- chain-ensemble mode ---------------------------------------- #
+
+    def _stub_for(self, evidence):
+        evidence = self.default_evidence if evidence is None else evidence
+        return _StubGraph(
+            self.compiled.num_vars, evidence, self.compiled.graph.weights
+        )
+
+    def chain_init(self, chain_id, rng, evidence=None, initial=None):
+        stub = self._stub_for(evidence)
+        rng = as_generator(rng)
+        plan = self.compiled.plan(stub)
+        if initial is None:
+            state = stub.initial_assignment(rng)
+        else:
+            state = np.array(initial, dtype=bool)
+            ev_vars, ev_vals = stub.evidence_arrays()
+            state[ev_vars] = ev_vals
+        self.chains[chain_id] = {
+            "state": state,
+            "cache": GibbsCache(self.compiled, state),
+            "rng": rng,
+            "plan": plan,
+        }
+
+    def _sweep_chain(self, chain) -> None:
+        cache, state, plan = chain["cache"], chain["state"], chain["plan"]
+        cache.refresh_weights(state)
+        uniforms = chain["rng"].random(len(plan.free_vars))
+        sweep_blocks(cache, state, plan.blocks, uniforms)
+
+    def chain_sweeps(self, chain_ids, num=1):
+        for _ in range(num):
+            for cid in chain_ids:
+                self._sweep_chain(self.chains[cid])
+
+    def chain_sweep_report(self, chain_ids, var):
+        """Advance each chain one sweep; report its value of ``var``."""
+        out = np.empty(len(chain_ids), dtype=bool)
+        for k, cid in enumerate(chain_ids):
+            chain = self.chains[cid]
+            self._sweep_chain(chain)
+            out[k] = chain["state"][var]
+        return out
+
+    def chain_states(self, chain_ids):
+        return np.stack([self.chains[cid]["state"] for cid in chain_ids])
+
+    def chain_sample_worlds(self, chain_id, num_samples, thin=1, burn_in=0):
+        chain = self.chains[chain_id]
+        for _ in range(burn_in):
+            self._sweep_chain(chain)
+        worlds = []
+        for _ in range(num_samples):
+            for _ in range(thin):
+                self._sweep_chain(chain)
+            worlds.append(chain["state"].copy())
+        return _pack_worlds(worlds)
+
+    def chain_sample_for(self, chain_id, seconds, thin=1, burn_in=0):
+        """Best-effort collection within a local time budget (§3.3)."""
+        chain = self.chains[chain_id]
+        start = time.perf_counter()
+        for _ in range(burn_in):
+            self._sweep_chain(chain)
+        worlds = []
+        while time.perf_counter() - start < seconds:
+            for _ in range(thin):
+                self._sweep_chain(chain)
+            worlds.append(chain["state"].copy())
+        return _pack_worlds(worlds)
+
+    # ---- sharded-sweep mode ------------------------------------------ #
+
+    def shard_init(self, blocks, watch_vars, own_vars, rng, initial):
+        """Set up this worker's shard of one sharded chain.
+
+        ``blocks`` is a list of ``(vars, scalar_only)`` pairs in scan
+        order; ``watch_vars`` are the foreign boundary variables whose
+        flips must be reconciled into the local caches between sweeps.
+        """
+        state = np.array(initial, dtype=bool)
+        self.shard = {
+            "blocks": [
+                _Block(self.compiled, np.asarray(v, dtype=np.int64), scalar_only=s)
+                for v, s in blocks
+            ],
+            "watch": np.asarray(watch_vars, dtype=np.int64),
+            "own": np.asarray(own_vars, dtype=np.int64),
+            "state": state,
+            "cache": GibbsCache(self.compiled, state),
+            "rng": as_generator(rng),
+            "num_own": int(sum(len(v) for v, _ in blocks)),
+        }
+
+    def shard_sweep(self, k):
+        """One parallel phase: reconcile foreign flips, sweep, publish."""
+        shard = self.shard
+        state, cache = shard["state"], shard["cache"]
+        prev = self.views["state0" if k % 2 == 0 else "state1"]
+        cur = self.views["state1" if k % 2 == 0 else "state0"]
+        watch = shard["watch"]
+        if watch.size:
+            changed = watch[state[watch] != prev[watch]]
+            for var in changed:
+                cache.commit_flip(int(var), bool(prev[var]), state)
+        cache.refresh_weights(state)
+        uniforms = shard["rng"].random(shard["num_own"])
+        sweep_blocks(cache, state, shard["blocks"], uniforms)
+        own = shard["own"]
+        cur[own] = state[own]
+        return None
+
+
+def _worker_main(conn, spec: dict) -> None:
+    worker = None
+    try:
+        worker = _Worker(spec)
+        conn.send(("ok", None))
+    except Exception:
+        conn.send(("error", traceback.format_exc()))
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            method, kwargs = message
+            try:
+                result = getattr(worker, method)(**kwargs)
+                conn.send(("ok", result))
+            except Exception:
+                conn.send(("error", traceback.format_exc()))
+    finally:
+        if worker is not None:
+            _cleanup_shm(worker.shm, unlink=False)
+        conn.close()
+
+
+class GibbsWorkerPool:
+    """A set of persistent worker processes attached to one shared export.
+
+    The pool owns the export segment and the worker lifecycles; consumers
+    address workers by index with :meth:`call` (synchronous) or
+    :meth:`send`/:meth:`recv` (fan-out: send to all, then collect — the
+    workers run concurrently between the two).
+    """
+
+    def __init__(
+        self,
+        compiled: CompiledFactorGraph,
+        n_workers: int,
+        extra=None,
+        ctx=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        ctx = ctx if ctx is not None else default_context()
+        self.n_workers = n_workers
+        self.export = SharedGraphExport(compiled, extra=extra)
+        spec = self.export.spec()
+        self._conns = []
+        self._procs = []
+        try:
+            for _ in range(n_workers):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(child, spec), daemon=True
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+            for i in range(n_workers):
+                self.recv(i)  # attach handshake
+        except Exception:
+            self.close()
+            raise
+        self._finalizer = weakref.finalize(
+            self, _shutdown_pool, self._conns, self._procs
+        )
+
+    def send(self, worker: int, method: str, **kwargs) -> None:
+        self._conns[worker].send((method, kwargs))
+
+    def recv(self, worker: int):
+        status, payload = self._conns[worker].recv()
+        if status != "ok":
+            raise RuntimeError(f"worker {worker} failed:\n{payload}")
+        return payload
+
+    def call(self, worker: int, method: str, **kwargs):
+        self.send(worker, method, **kwargs)
+        return self.recv(worker)
+
+    def broadcast(self, method: str, per_worker_kwargs) -> list:
+        """Fan a call out to every worker and collect results in order."""
+        for i, kwargs in enumerate(per_worker_kwargs):
+            self.send(i, method, **kwargs)
+        return [self.recv(i) for i in range(self.n_workers)]
+
+    def push_weights(self, store) -> None:
+        self.export.push_weights(store)
+
+    def close(self) -> None:
+        if hasattr(self, "_finalizer"):
+            self._finalizer()
+        else:
+            _shutdown_pool(self._conns, self._procs)
+        self.export.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def _shutdown_pool(conns, procs) -> None:
+    for conn in conns:
+        try:
+            conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+    for proc in procs:
+        proc.join(timeout=5)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1)
+    for conn in conns:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Sharded single-chain sampler
+# --------------------------------------------------------------------- #
+
+
+class ShardedGibbsSampler:
+    """One Gibbs chain whose sweeps run sharded across worker processes.
+
+    Parameters
+    ----------
+    graph, seed, initial, compiled:
+        As for :class:`~repro.inference.gibbs.GibbsSampler`.
+    n_workers:
+        Number of shard workers.  ``1`` runs the in-process serial kernel
+        — bit-identical to ``GibbsSampler`` for the same seed.
+    sync:
+        ``"serial"`` (default): boundary blocks are resampled serially by
+        the controller after the parallel phase; the chain is an exact
+        Gibbs sampler under a fixed scan order.  ``"stale"``: boundary
+        blocks stay with their owning shard and cross-shard reads lag one
+        sweep (synchronous-Gibbs approximation; higher parallel fraction
+        on graphs with large cuts).
+    block_costs:
+        Optional per-block cost vector for the shard partitioner (e.g.
+        from :func:`measure_block_costs`); defaults to the analytic model.
+    """
+
+    def __init__(
+        self,
+        graph,
+        n_workers: int = 1,
+        seed=None,
+        initial=None,
+        compiled: CompiledFactorGraph | None = None,
+        sync: str = "serial",
+        block_costs=None,
+        ctx=None,
+    ) -> None:
+        if sync not in ("serial", "stale"):
+            raise ValueError(f"sync must be 'serial' or 'stale', got {sync!r}")
+        self.graph = graph
+        self.n_workers = n_workers
+        self.sync = sync
+        self.sweeps_done = 0
+        if n_workers <= 1:
+            self._serial = GibbsSampler(
+                graph, seed=seed, initial=initial, compiled=compiled
+            )
+            self.compiled = self._serial.compiled
+            self.plan = self._serial.plan
+            self.shard_plan = None
+            self.pool = None
+            return
+        self._serial = None
+        self.compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
+        self.plan = self.compiled.plan(graph)
+        self.shard_plan = partition_plan(
+            self.compiled, self.plan, n_workers, block_costs=block_costs
+        )
+
+        rng = as_generator(seed)
+        worker_rngs = spawn(rng, n_workers)
+        self.rng = rng
+        if initial is None:
+            self._state = graph.initial_assignment(rng)
+        else:
+            self._state = np.array(initial, dtype=bool)
+            ev_vars, ev_vals = graph.evidence_arrays()
+            self._state[ev_vars] = ev_vals
+
+        n = graph.num_vars
+        self.pool = GibbsWorkerPool(
+            self.compiled,
+            n_workers,
+            extra={"state0": ((n,), bool), "state1": ((n,), bool)},
+            ctx=ctx,
+        )
+        self._pushed_version = graph.weights.version
+        self.pool.export.array("state0")[...] = self._state
+        self.pool.export.array("state1")[...] = self._state
+
+        sp = self.shard_plan
+        blocks = self.plan.blocks
+        boundary_set = set(sp.boundary.tolist())
+        for s in range(n_workers):
+            if self.sync == "serial":
+                own_ids = sp.shards[s]
+                watch = sp.boundary_vars
+            else:
+                own_ids = sp.owned_blocks(s)
+                own_boundary = {
+                    int(bi)
+                    for bi in sp.boundary[sp.boundary_owner == s]
+                }
+                foreign_boundary = [
+                    blocks[bi].vars for bi in boundary_set - own_boundary
+                ]
+                watch = (
+                    np.sort(np.concatenate(foreign_boundary))
+                    if foreign_boundary
+                    else np.zeros(0, dtype=np.int64)
+                )
+            own_vars = (
+                np.concatenate([blocks[bi].vars for bi in own_ids])
+                if len(own_ids)
+                else np.zeros(0, dtype=np.int64)
+            )
+            self.pool.call(
+                s,
+                "shard_init",
+                blocks=[
+                    (blocks[bi].vars, bool(blocks[bi].scalar_only))
+                    for bi in own_ids
+                ],
+                watch_vars=watch,
+                own_vars=own_vars,
+                rng=worker_rngs[s],
+                initial=self._state,
+            )
+
+        if self.sync == "serial":
+            self._cache = GibbsCache(self.compiled, self._state)
+            self._boundary_blocks = [blocks[bi] for bi in sp.boundary]
+            self._boundary_size = int(sp.boundary_vars.size)
+            self._interior_vars = (
+                np.sort(np.concatenate([v for v in sp.shard_vars if v.size]))
+                if any(v.size for v in sp.shard_vars)
+                else np.zeros(0, dtype=np.int64)
+            )
+            self._boundary_adjacent = self._compute_boundary_adjacent()
+        else:
+            self._cache = None
+            self._free = self.plan.free_vars
+
+    # ------------------------------------------------------------------ #
+
+    def _compute_boundary_adjacent(self) -> np.ndarray:
+        """Mask of variables sharing a factor with any boundary variable.
+
+        The controller only resamples boundary blocks, whose conditionals
+        read caches of boundary-adjacent factors; interior flips outside
+        this mask are mirrored into the assignment without cache work.
+        """
+        c = self.compiled
+        n = c.num_vars
+        on_boundary = np.zeros(n, dtype=bool)
+        on_boundary[self.shard_plan.boundary_vars] = True
+        adjacent = np.zeros(n, dtype=bool)
+        if c.ising_row.size:
+            hit = on_boundary[c.ising_row]
+            adjacent[c.ising_other[hit]] = True
+        if c.num_rules:
+            rule_hit = on_boundary[c.rule_head].copy()
+            if c.lit_var.size:
+                ri_of_lit = c.grounding_ri[c.lit_gg]
+                rule_hit[ri_of_lit[on_boundary[c.lit_var]]] = True
+                adjacent[c.lit_var[rule_hit[ri_of_lit]]] = True
+            adjacent[c.rule_head[rule_hit]] = True
+        for factor in c.slow_list:
+            members = list(factor.variables())
+            if on_boundary[members].any():
+                adjacent[members] = True
+        return adjacent
+
+    @property
+    def state(self) -> np.ndarray:
+        if self._serial is not None:
+            return self._serial.state
+        return self._state
+
+    def sweep(self) -> None:
+        """One full sweep (parallel interior phase + boundary sync)."""
+        if self._serial is not None:
+            self._serial.sweep()
+            self.sweeps_done = self._serial.sweeps_done
+            return
+        pool = self.pool
+        k = self.sweeps_done
+        # Mirror the serial kernel's version-gated refresh: publish weight
+        # mutations to the workers before the sweep that should see them.
+        version = self.graph.weights.version
+        if version != self._pushed_version:
+            pool.push_weights(self.graph.weights)
+            self._pushed_version = version
+        for s in range(self.n_workers):
+            pool.send(s, "shard_sweep", k=k)
+        for s in range(self.n_workers):
+            pool.recv(s)
+        cur = pool.export.array("state1" if k % 2 == 0 else "state0")
+        state = self._state
+        if self.sync == "serial":
+            cache = self._cache
+            iv = self._interior_vars
+            if iv.size:
+                moved = iv[state[iv] != cur[iv]]
+                if moved.size:
+                    adjacent = moved[self._boundary_adjacent[moved]]
+                    for var in adjacent:
+                        cache.commit_flip(int(var), bool(cur[var]), state)
+                    state[moved] = cur[moved]
+            if self._boundary_blocks:
+                cache.refresh_weights(state)
+                uniforms = self.rng.random(self._boundary_size)
+                sweep_blocks(cache, state, self._boundary_blocks, uniforms)
+                bv = self.shard_plan.boundary_vars
+                cur[bv] = state[bv]
+        else:
+            free = self._free
+            state[free] = cur[free]
+        self.sweeps_done += 1
+
+    def run(self, num_sweeps: int) -> np.ndarray:
+        for _ in range(num_sweeps):
+            self.sweep()
+        return self.state
+
+    def sample_worlds(self, num_samples: int, thin: int = 1, burn_in: int = 0) -> np.ndarray:
+        if self._serial is not None:
+            return self._serial.sample_worlds(num_samples, thin=thin, burn_in=burn_in)
+        for _ in range(burn_in):
+            self.sweep()
+        out = np.empty((num_samples, self.graph.num_vars), dtype=bool)
+        for s in range(num_samples):
+            for _ in range(thin):
+                self.sweep()
+            out[s] = self.state
+        return out
+
+    def estimate_marginals(
+        self, num_samples: int, thin: int = 1, burn_in: int = 0
+    ) -> np.ndarray:
+        worlds = self.sample_worlds(num_samples, thin=thin, burn_in=burn_in)
+        return worlds.mean(axis=0)
+
+    def close(self) -> None:
+        if self.pool is not None:
+            self.pool.close()
+            self.pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Parallel chain ensembles
+# --------------------------------------------------------------------- #
+
+
+class ParallelChainEnsemble:
+    """Independent Gibbs chains farmed round-robin to worker processes.
+
+    All chains attach to one shared compilation; each keeps its own
+    sampler state in its worker.  The ensemble advances in lock-step
+    (:meth:`sweep_values` / :meth:`sweeps`) or in bulk
+    (:meth:`sample_worlds`), which is how the convergence harness, the
+    SGD chain pair and the materialization bundle use it.
+    """
+
+    def __init__(
+        self,
+        graph,
+        num_chains: int,
+        n_workers: int,
+        seed=None,
+        initial=None,
+        compiled: CompiledFactorGraph | None = None,
+        ctx=None,
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        n_workers = min(n_workers, num_chains)
+        self.graph = graph
+        self.num_chains = num_chains
+        self.compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
+        self.pool = GibbsWorkerPool(self.compiled, n_workers, ctx=ctx)
+        rng = as_generator(seed)
+        chain_rngs = spawn(rng, num_chains)
+        self._worker_of = [cid % n_workers for cid in range(num_chains)]
+        self._chains_of = [
+            [cid for cid in range(num_chains) if cid % n_workers == w]
+            for w in range(n_workers)
+        ]
+        for cid in range(num_chains):
+            self.pool.call(
+                self._worker_of[cid],
+                "chain_init",
+                chain_id=cid,
+                rng=chain_rngs[cid],
+                initial=initial,
+            )
+
+    @property
+    def n_workers(self) -> int:
+        return self.pool.n_workers
+
+    def sweep_values(self, var: int) -> np.ndarray:
+        """Advance every chain one sweep; return each chain's ``var``."""
+        results = self.pool.broadcast(
+            "chain_sweep_report",
+            [
+                {"chain_ids": chain_ids, "var": var}
+                for chain_ids in self._chains_of
+            ],
+        )
+        out = np.empty(self.num_chains, dtype=bool)
+        for w, values in enumerate(results):
+            out[self._chains_of[w]] = values
+        return out
+
+    def sweeps(self, num: int = 1) -> None:
+        """Advance every chain ``num`` sweeps."""
+        self.pool.broadcast(
+            "chain_sweeps",
+            [
+                {"chain_ids": chain_ids, "num": num}
+                for chain_ids in self._chains_of
+            ],
+        )
+
+    def states(self) -> np.ndarray:
+        """Stacked ``(num_chains, num_vars)`` current states."""
+        results = self.pool.broadcast(
+            "chain_states",
+            [{"chain_ids": chain_ids} for chain_ids in self._chains_of],
+        )
+        out = np.empty((self.num_chains, self.graph.num_vars), dtype=bool)
+        for w, stacked in enumerate(results):
+            out[self._chains_of[w]] = stacked
+        return out
+
+    def sample_worlds_packed(
+        self,
+        num_samples: int | None = None,
+        time_budget: float | None = None,
+        thin: int = 1,
+        burn_in: int = 0,
+    ) -> tuple:
+        """Fill a tuple bundle from all chains; returns (packed, count).
+
+        With ``num_samples`` the quota is split evenly across chains.
+        With ``time_budget`` the budget bounds **wall time**: a worker
+        runs its chains sequentially, so the budget is divided by the
+        number of chains each worker hosts (the paper's §3.3 best-effort
+        policy).  One chain per worker maximises the harvest.
+        """
+        if num_samples is None and time_budget is None:
+            raise ValueError("need num_samples or time_budget")
+        if num_samples is not None:
+            quotas = np.full(self.num_chains, num_samples // self.num_chains)
+            quotas[: num_samples % self.num_chains] += 1
+            method = "chain_sample_worlds"
+        else:
+            method = "chain_sample_for"
+        packed_parts, total = [], 0
+        # Fan out one request per chain, worker-major so every worker
+        # starts its first chain immediately.
+        pending = []
+        for w, chain_ids in enumerate(self._chains_of):
+            for cid in chain_ids:
+                kwargs = {"chain_id": cid, "thin": thin, "burn_in": burn_in}
+                if num_samples is not None:
+                    kwargs["num_samples"] = int(quotas[cid])
+                else:
+                    kwargs["seconds"] = time_budget / len(chain_ids)
+                self.pool.send(w, method, **kwargs)
+                pending.append(w)
+        for w in pending:
+            packed, count = self.pool.recv(w)
+            if count:
+                packed_parts.append(packed)
+                total += count
+        if not packed_parts:
+            return np.zeros((0, 0), dtype=np.uint8), 0
+        return np.concatenate(packed_parts, axis=0), total
+
+    def push_weights(self, store) -> None:
+        self.pool.push_weights(store)
+
+    def close(self) -> None:
+        self.pool.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Measured cost model
+# --------------------------------------------------------------------- #
+
+
+def measure_block_costs(
+    compiled: CompiledFactorGraph,
+    plan: SweepPlan,
+    repeats: int = 3,
+    seed: int = 0,
+) -> np.ndarray:
+    """Measured per-block conditional-evaluation cost (seconds/sweep).
+
+    Times each block's kernel (batched or scalar) against a scratch cache
+    and random state.  Feeding the result to ``partition_plan`` replaces
+    the analytic cost model with calibrated timings — useful when kernel
+    constants differ across machines or numpy builds.
+    """
+    rng = np.random.default_rng(seed)
+    state = compiled.graph.initial_assignment(rng)
+    cache = GibbsCache(compiled, state)
+    costs = np.empty(plan.num_blocks, dtype=np.float64)
+    for bi, block in enumerate(plan.blocks):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            if block.use_batch:
+                cache.delta_energy_block(block, state)
+            else:
+                for v in block.vars:
+                    cache.delta_energy(int(v), state)
+        costs[bi] = (time.perf_counter() - start) / repeats
+    return costs

@@ -51,6 +51,13 @@ class SGDLearner:
         When False, all learnable weights are zeroed before training
         (the "SGD-Warmstart" baseline of Fig. 16); when True the current
         values are kept.
+    n_workers:
+        With ``n_workers >= 2`` the conditioned and free persistent
+        chains live in two worker processes (sharing the compiled arrays
+        through shared memory) and advance **concurrently** each epoch;
+        weight updates are pushed to the workers between epochs.  ``1``
+        (default) keeps both chains in-process.  Call :meth:`close` (or
+        use the learner as a context manager) when workers were used.
     """
 
     def __init__(
@@ -62,6 +69,7 @@ class SGDLearner:
         l2: float = 1e-4,
         warmstart: bool = True,
         seed=None,
+        n_workers: int = 1,
     ) -> None:
         self.graph = graph
         self.step_size = step_size
@@ -83,25 +91,80 @@ class SGDLearner:
         # graph's evidence).  Weight updates land via the per-sweep
         # weights-vector refresh, so no recompilation is ever needed.
         self._compiled = CompiledFactorGraph(graph)
-        self._conditioned = GibbsSampler(graph, seed=self.rng, compiled=self._compiled)
-        self._free = GibbsSampler(
-            self.free_graph, seed=self.rng, compiled=self._compiled
-        )
+        self._pool = None
+        if n_workers >= 2:
+            from repro.inference.parallel import GibbsWorkerPool
+            from repro.util.rng import spawn
+
+            self._pool = GibbsWorkerPool(self._compiled, 2)
+            cond_rng, free_rng = spawn(self.rng, 2)
+            # Worker 0: conditioned chain (export's default evidence);
+            # worker 1: free chain (no clamping).
+            self._pool.call(0, "chain_init", chain_id=0, rng=cond_rng)
+            self._pool.call(
+                1, "chain_init", chain_id=0, rng=free_rng, evidence={}
+            )
+            self._conditioned = None
+            self._free = None
+        else:
+            self._conditioned = GibbsSampler(
+                graph, seed=self.rng, compiled=self._compiled
+            )
+            self._free = GibbsSampler(
+                self.free_graph, seed=self.rng, compiled=self._compiled
+            )
 
     # ------------------------------------------------------------------ #
 
     def epoch(self) -> float:
         """One SGD epoch; returns the gradient norm."""
-        cond_worlds = self._conditioned.sample_worlds(
-            self.samples_per_epoch, thin=self.sweeps_per_epoch
-        )
-        free_worlds = self._free.sample_worlds(
-            self.samples_per_epoch, thin=self.sweeps_per_epoch
-        )
+        if self._pool is not None:
+            cond_worlds, free_worlds = self._epoch_worlds_parallel()
+        else:
+            cond_worlds = self._conditioned.sample_worlds(
+                self.samples_per_epoch, thin=self.sweeps_per_epoch
+            )
+            free_worlds = self._free.sample_worlds(
+                self.samples_per_epoch, thin=self.sweeps_per_epoch
+            )
         grad = weight_gradient(self.graph, cond_worlds, free_worlds, l2=self.l2)
         values = self.graph.weights.values_array() + self.step_size * grad
         self.graph.weights.set_values_array(values)
         return float(np.linalg.norm(grad))
+
+    def _epoch_worlds_parallel(self):
+        """Advance both persistent chains concurrently; gather worlds."""
+        pool = self._pool
+        pool.push_weights(self.graph.weights)
+        for worker in (0, 1):
+            pool.send(
+                worker,
+                "chain_sample_worlds",
+                chain_id=0,
+                num_samples=self.samples_per_epoch,
+                thin=self.sweeps_per_epoch,
+            )
+        worlds = []
+        for worker in (0, 1):
+            packed, count = pool.recv(worker)
+            worlds.append(
+                np.unpackbits(packed, axis=1, count=self.graph.num_vars).astype(
+                    bool
+                )
+            )
+        return worlds[0], worlds[1]
+
+    def close(self) -> None:
+        """Shut down chain workers (no-op for the serial learner)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
 
     def fit(self, num_epochs: int, record_loss: bool = True) -> LearningHistory:
         """Run ``num_epochs`` epochs; optionally record pseudo-NLL."""
@@ -128,7 +191,10 @@ class SGDLearner:
         evidence = self.graph.evidence
         if not evidence:
             return 0.0
-        state = self._conditioned.state.copy()
+        if self._pool is not None:
+            state = self._pool.call(0, "chain_states", chain_ids=[0])[0]
+        else:
+            state = self._conditioned.state.copy()
         ev_vars, ev_vals = self.graph.evidence_arrays()
         state[ev_vars] = ev_vals
         cache = GibbsCache(self._compiled, state)

@@ -139,11 +139,21 @@ class TestSamplingStrategy:
         assert collected > 0
         assert mat.materialization_seconds <= 1.0
 
-    def test_storage_is_one_bit_per_var_per_sample(self):
+    def test_storage_is_bit_packed(self):
+        # The bundle is genuinely bit-packed: 8 variables per byte, the
+        # final byte of each row padded — so 7 variables cost 1 byte/row.
         fg = chain_ising_graph(7)
         mat = SampleMaterialization(fg, seed=0)
         mat.materialize(num_samples=50)
-        assert mat.storage_bits() == 50 * 7
+        assert mat.storage_bits() == 50 * 8
+        assert mat._packed.dtype == np.uint8
+        assert mat.samples.shape == (50, 7)
+        # 17 variables need 3 bytes/row (24 bits).
+        fg = chain_ising_graph(17)
+        mat = SampleMaterialization(fg, seed=0)
+        mat.materialize(num_samples=10)
+        assert mat.storage_bits() == 10 * 24
+        assert mat.samples.shape == (10, 17)
 
 
 class TestVariationalStrategy:

@@ -42,7 +42,8 @@ class TestIncrementalEngine:
         engine = IncrementalEngine(chain_ising_graph(4), config())
         stats = engine.materialize()
         assert stats["samples"] == 600
-        assert stats["bundle_bits"] == 600 * 4
+        # Bit-packed bundle: 4 variables round up to one byte per sample.
+        assert stats["bundle_bits"] == 600 * 8
         assert stats["approx_factors"] > 0
 
     def test_empty_update_uses_sampling_rule1(self):
