@@ -1,0 +1,220 @@
+"""End-to-end update latency: incremental compilation vs recompile.
+
+The paper's central product metric for a deployed KBC system is the cost
+of one development-loop update (§1, Fig. 15): it should scale with the
+*delta*, not the system.  PR 3 carried the ΔV/ΔF objects of incremental
+grounding down into the CSR substrate (``CompiledFactorGraph.apply_delta``
++ warm-started samplers + surviving worker pools); this benchmark tracks
+what that buys on the Rerun engine's ``apply_update`` wall-clock:
+
+* ``delta_axis`` — fixed graph size, growing delta size: the *patched*
+  path (``reuse_compilation=True, warm_start=True``) should grow with
+  |Δ|, the *recompile* baseline (``reuse_compilation=False``) should be
+  flat-and-high (it pays O(graph) regardless of |Δ|).
+* ``graph_axis`` — fixed delta size, growing graph size: the patched
+  path should stay near-flat (sublinear in graph size) while the
+  recompile baseline grows with the graph.
+
+Inference work is pinned to a few sweeps on both paths so the
+measurement isolates update *setup* cost (compile + plan + chain
+(re)start) — the part this PR makes O(|Δ|) — on top of identical
+sampling work.
+
+``--check`` runs the CI smoke contract instead: ground the paper's
+spouse program, apply three incremental updates through a bound compiled
+view (``IncrementalGrounder.bind_compiled``), and assert the patched
+compilation's marginals agree with a from-scratch compile.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_update_latency.py
+[--scale tiny|small|medium] [--check]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import EngineConfig, RerunEngine
+from repro.graph import FactorGraph, FactorGraphDelta
+from repro.graph.factor_graph import IsingFactor
+
+from _helpers import emit_json
+
+SCALES = {
+    "tiny": {"graph_sizes": [200, 400], "fixed_graph": 400, "delta_sizes": [1, 4, 16]},
+    "small": {
+        "graph_sizes": [500, 1000, 2000],
+        "fixed_graph": 2000,
+        "delta_sizes": [1, 8, 32, 128],
+    },
+    "medium": {
+        "graph_sizes": [1000, 3000, 9000],
+        "fixed_graph": 9000,
+        "delta_sizes": [1, 8, 64, 256],
+    },
+}
+
+#: Sampling work per update — identical on both paths, small enough that
+#: setup cost (the thing this benchmark isolates) stays visible.
+INFERENCE_SAMPLES = 3
+BURN_IN = 2
+
+
+def build_graph(num_vars: int, seed: int = 0) -> FactorGraph:
+    """Random Ising graph with biases (§3.2.4 style)."""
+    rng = np.random.default_rng(seed)
+    fg = FactorGraph()
+    fg.add_variables(num_vars)
+    for k in range(num_vars * 2):
+        i, j = int(rng.integers(num_vars)), int(rng.integers(num_vars))
+        if i == j:
+            continue
+        wid = fg.weights.intern(("J", k), initial=float(rng.normal(0, 0.3)))
+        fg.add_ising_factor(wid, i, j)
+    bias = fg.weights.intern("h", initial=0.1)
+    for v in range(num_vars):
+        fg.add_bias_factor(bias, v)
+    return fg
+
+
+def make_delta(graph: FactorGraph, size: int, rng, step: int) -> FactorGraphDelta:
+    """A development-iteration delta touching ~``size`` factors."""
+    delta = FactorGraphDelta()
+    n = graph.num_vars
+    nw = len(graph.weights)
+    delta.new_weight_entries.append((("upd", step), float(rng.normal(0, 0.3)), False))
+    for _ in range(size):
+        i, j = int(rng.integers(n)), int(rng.integers(n))
+        if i == j:
+            j = (j + 1) % n
+        delta.new_factors.append(IsingFactor(weight_id=nw, i=i, j=j))
+    for _ in range(max(size // 4, 1)):
+        delta.removed_factor_ids.add(int(rng.integers(graph.num_factors)))
+    delta.evidence_updates[int(rng.integers(n))] = bool(rng.integers(2))
+    return delta
+
+
+def engine_config(path: str) -> EngineConfig:
+    incremental = path == "patched"
+    return EngineConfig(
+        inference_samples=INFERENCE_SAMPLES,
+        burn_in=BURN_IN,
+        incremental_burn_in=BURN_IN,
+        seed=0,
+        reuse_compilation=incremental,
+        warm_start=incremental,
+    )
+
+
+def measure_updates(num_vars: int, delta_size: int, path: str, updates: int = 4) -> dict:
+    """Median per-update apply_update seconds for one configuration."""
+    graph = build_graph(num_vars)
+    engine = RerunEngine(graph, engine_config(path))
+    # Prime: the first update pays the one-time compile on both paths.
+    engine.apply_update(FactorGraphDelta())
+    rng = np.random.default_rng(7)
+    seconds = []
+    for step in range(updates):
+        delta = make_delta(engine.current_graph, delta_size, rng, step)
+        start = time.perf_counter()
+        engine.apply_update(delta)
+        seconds.append(time.perf_counter() - start)
+    engine.close()
+    return {
+        "num_vars": num_vars,
+        "delta_size": delta_size,
+        "path": path,
+        "median_seconds": float(np.median(seconds)),
+        "min_seconds": float(np.min(seconds)),
+        "updates_patched": engine.updates_patched,
+        "updates_recompiled": engine.updates_recompiled,
+    }
+
+
+def run(scale: str) -> dict:
+    cfg = SCALES[scale]
+    record = {"scale": scale, "delta_axis": [], "graph_axis": []}
+    for delta_size in cfg["delta_sizes"]:
+        for path in ("patched", "recompile"):
+            row = measure_updates(cfg["fixed_graph"], delta_size, path)
+            record["delta_axis"].append(row)
+            print(
+                f"delta_axis n={row['num_vars']} |Δ|={delta_size:>4} "
+                f"{path:>9}: {row['median_seconds'] * 1e3:8.1f} ms/update"
+            )
+    fixed_delta = cfg["delta_sizes"][1] if len(cfg["delta_sizes"]) > 1 else 1
+    for num_vars in cfg["graph_sizes"]:
+        for path in ("patched", "recompile"):
+            row = measure_updates(num_vars, fixed_delta, path)
+            record["graph_axis"].append(row)
+            print(
+                f"graph_axis n={num_vars:>6} |Δ|={fixed_delta} "
+                f"{path:>9}: {row['median_seconds'] * 1e3:8.1f} ms/update"
+            )
+    # Headline: at the largest fixed graph, patched vs recompile latency.
+    patched = [r for r in record["delta_axis"] if r["path"] == "patched"]
+    recompile = [r for r in record["delta_axis"] if r["path"] == "recompile"]
+    record["speedup_at_smallest_delta"] = (
+        recompile[0]["median_seconds"] / max(patched[0]["median_seconds"], 1e-9)
+    )
+    return record
+
+
+def check() -> None:
+    """CI smoke: ground → update ×3 → patched ≡ fresh-compile marginals."""
+    import sys
+
+    sys.path.insert(0, ".")
+    from tests.test_grounding import spouse_db, spouse_program
+
+    from repro.graph.compiled import CompiledFactorGraph
+    from repro.grounding import IncrementalGrounder
+    from repro.inference.gibbs import GibbsSampler
+    from repro.util.stats import max_marginal_error
+
+    program = spouse_program()
+    db = spouse_db(program)
+    grounder = IncrementalGrounder.from_scratch(program, db)
+    compiled = CompiledFactorGraph(grounder.graph)
+    compiled.plan(grounder.graph)
+    grounder.bind_compiled(compiled, compact_threshold=1.0)
+    updates = [
+        dict(inserts={"PhraseFeature": [("m1", "m2", "his spouse")]}),
+        dict(inserts={"PersonCandidate": [("s3", "m5"), ("s3", "m6")]}),
+        dict(deletes={"PhraseFeature": [("m3", "m4", "friend of")]}),
+    ]
+    for update in updates:
+        result = grounder.apply_update(**update)
+        assert result.patch is not None, "bound compiled did not produce a patch"
+    assert compiled.num_vars == grounder.graph.num_vars
+    patched = GibbsSampler(
+        grounder.graph, seed=0, compiled=compiled
+    ).estimate_marginals(3000, burn_in=50)
+    fresh = GibbsSampler(grounder.graph, seed=1).estimate_marginals(
+        3000, burn_in=50
+    )
+    err = max_marginal_error(patched, fresh)
+    assert err < 0.06, f"patched vs fresh marginal disagreement: {err:.3f}"
+    print(f"incremental smoke ok: ground → update ×3, max marginal err {err:.3f}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the incremental grounding→inference smoke assertion only",
+    )
+    args = parser.parse_args()
+    if args.check:
+        check()
+        return
+    record = run(args.scale)
+    emit_json("BENCH_update", record)
+
+
+if __name__ == "__main__":
+    main()

@@ -33,7 +33,13 @@ from repro.inference.metropolis import IndependentMH, MHResult
 from repro.util.rng import as_generator
 
 
-def make_sampler(graph: FactorGraph, seed=None, compiled=None, n_workers: int = 1):
+def make_sampler(
+    graph: FactorGraph,
+    seed=None,
+    compiled=None,
+    n_workers: int = 1,
+    incremental: bool = False,
+):
     """The fastest applicable sampler for ``graph``.
 
     Serial (``n_workers=1``): chromatic for pairwise graphs, block-planned
@@ -42,6 +48,11 @@ def make_sampler(graph: FactorGraph, seed=None, compiled=None, n_workers: int = 
     sweep across worker processes (callers own its ``close()``).  Passing
     an existing :class:`CompiledFactorGraph` skips recompilation (callers
     that sample the same graph repeatedly should reuse one).
+
+    ``incremental=True`` restricts the choice to samplers supporting
+    ``apply_patch`` (warm-starting across ``CompiledFactorGraph.apply_delta``)
+    — the chromatic sampler's colouring is not patchable, so pairwise
+    graphs get the block-planned kernel instead (same throughput class).
     """
     if compiled is None:
         compiled = CompiledFactorGraph(graph)
@@ -51,7 +62,7 @@ def make_sampler(graph: FactorGraph, seed=None, compiled=None, n_workers: int = 
         return ShardedGibbsSampler(
             graph, n_workers=n_workers, seed=seed, compiled=compiled
         )
-    if graph.num_vars and compiled.is_pairwise:
+    if not incremental and graph.num_vars and compiled.is_pairwise:
         return ChromaticGibbsSampler(graph, seed=seed, compiled=compiled)
     return GibbsSampler(graph, seed=seed, compiled=compiled)
 
@@ -67,6 +78,11 @@ class SampleMaterialization:
         self.graph = graph
         self.rng = as_generator(seed)
         self.n_workers = n_workers
+        #: Stored width of the bundle rows.  Starts at the materialized
+        #: graph's width and grows via :meth:`extend_bundle` when updates
+        #: append variables (the patched-bundle path of incremental
+        #: inference) — so it can exceed ``graph.num_vars``.
+        self.width = graph.num_vars
         self._packed = np.zeros((0, self._row_bytes), dtype=np.uint8)
         self.base_marginals = np.zeros(graph.num_vars)
         self._cursor = 0
@@ -77,19 +93,17 @@ class SampleMaterialization:
 
     @property
     def _row_bytes(self) -> int:
-        return (self.graph.num_vars + 7) // 8
+        return (self.width + 7) // 8
 
     @property
     def samples(self) -> np.ndarray:
-        """The bundle as a ``(S, num_vars)`` boolean matrix (unpacked view)."""
+        """The bundle as a ``(S, width)`` boolean matrix (unpacked view)."""
         return self._unpack(self._packed)
 
     def _unpack(self, packed: np.ndarray) -> np.ndarray:
         if packed.shape[0] == 0:
-            return np.zeros((0, self.graph.num_vars), dtype=bool)
-        return np.unpackbits(
-            packed, axis=1, count=self.graph.num_vars
-        ).astype(bool)
+            return np.zeros((0, self.width), dtype=bool)
+        return np.unpackbits(packed, axis=1, count=self.width).astype(bool)
 
     def materialize(
         self,
@@ -186,6 +200,32 @@ class SampleMaterialization:
         """True bundle storage: bit-packed rows, 8 variables per byte
         (the final byte of each row is padded)."""
         return self._packed.size * 8
+
+    def extend_bundle(self, num_new_vars: int) -> None:
+        """Patch the stored bundle with columns for appended variables.
+
+        The paper's sampling approach extends each proposal world to the
+        updated variable set on the fly; when an update appends only a
+        small fraction of variables it is cheaper to extend the *bundle*
+        once — every remaining stored row gains uniform draws for the new
+        variables (the same extension distribution ``IndependentMH`` uses
+        per proposal, drawn eagerly), and the rows repack in place.
+        Rows before the consumption cursor are never proposed again, so
+        they are dropped rather than repacked — the patch costs
+        O(remaining rows × width), not O(bundle)."""
+        if num_new_vars <= 0:
+            return
+        new_width = self.width + int(num_new_vars)
+        if self._cursor:
+            self._packed = self._packed[self._cursor :]
+            self._cursor = 0
+        if self._packed.shape[0]:
+            worlds = self._unpack(self._packed)
+            tail = self.rng.random((worlds.shape[0], int(num_new_vars))) < 0.5
+            self._packed = np.packbits(
+                np.concatenate([worlds, tail], axis=1), axis=1
+            )
+        self.width = new_width
 
     def infer(
         self,

@@ -21,6 +21,7 @@ class Relation:
         self.arity = len(self.columns)
         self._counts: dict = {}
         self._indexes: dict = {}  # positions tuple -> {key tuple: set of rows}
+        self._rows_cache: tuple | None = None  # invalidated on visibility change
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -46,6 +47,7 @@ class Relation:
         self._counts[row] = old + count
         if old == 0:
             self._index_add(row)
+            self._rows_cache = None
             return True
         return False
 
@@ -68,6 +70,7 @@ class Relation:
         if new == 0:
             del self._counts[row]
             self._index_remove(row)
+            self._rows_cache = None
             return True
         self._counts[row] = new
         return False
@@ -91,6 +94,7 @@ class Relation:
     def clear(self) -> None:
         self._counts.clear()
         self._indexes.clear()
+        self._rows_cache = None
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -108,18 +112,24 @@ class Relation:
     def count(self, row) -> int:
         return self._counts.get(tuple(row), 0)
 
-    def rows(self) -> list:
-        return list(self._counts)
+    def rows(self) -> tuple:
+        """All visible rows, as a tuple cached until the next
+        visibility transition (so repeated full scans are free)."""
+        cached = self._rows_cache
+        if cached is None:
+            cached = self._rows_cache = tuple(self._counts)
+        return cached
 
     def counts(self) -> dict:
         """A copy of the full ``{row: count}`` map."""
         return dict(self._counts)
 
-    def lookup(self, positions, values) -> list:
+    def lookup(self, positions, values) -> tuple:
         """Rows whose ``positions`` columns equal ``values``.
 
         Builds (and thereafter maintains) a hash index on ``positions``.
-        An empty ``positions`` returns all rows.
+        An empty ``positions`` returns all rows.  Always returns a tuple
+        (matching :meth:`rows`); treat it as an unordered snapshot.
         """
         positions = tuple(positions)
         if not positions:
@@ -131,7 +141,8 @@ class Relation:
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, set()).add(row)
             self._indexes[positions] = index
-        return list(index.get(tuple(values), ()))
+        bucket = index.get(tuple(values))
+        return tuple(bucket) if bucket else ()
 
     # ------------------------------------------------------------------ #
     # Index maintenance

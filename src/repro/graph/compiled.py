@@ -49,14 +49,48 @@ this is *exactly* equivalent to the sequential scan (same uniforms, same
 trajectory up to float summation order) but approaches chromatic-sampler
 throughput on pairwise graphs without needing a colouring.  Variables in
 very large rule factors or slow-path factors become singleton blocks.
+
+Incremental compilation: :meth:`CompiledFactorGraph.apply_delta` patches
+the compiled view in place from a
+:class:`~repro.graph.delta.FactorGraphDelta` instead of recompiling —
+the paper's O(|Δ|) update promise carried down into the CSR substrate.
+The patch protocol:
+
+* **appends** (new variables, factors, groundings, literals) land at the
+  end of the global incidence arrays, which are backed by
+  amortized-doubling :class:`_Growable` buffers;
+* **retractions** tombstone their entries via ``*_alive`` masks (the
+  entries stay in the arrays, masked out of every reader) — compaction
+  (a full recompile of the current graph, in place) runs when the
+  tombstone/patch density crosses a threshold;
+* per-variable CSR slices are *not* rewritten: a variable whose
+  incidence set changed is flagged in ``var_patched`` and its kernels
+  route through the always-current Python mirrors (``py_*`` lists) until
+  the next compaction.  Blocks containing patched variables are rebuilt
+  from the mirrors, so the batched kernel keeps working.
+
+Derived state is repaired, not rebuilt: :meth:`GibbsCache.apply_patch`
+splices the ``field``/``unsat``/``nsat`` caches, :meth:`SweepPlan.apply_patch`
+re-plans only the blocks whose variables gained or lost factor
+incidence, and :func:`repair_shard_plan` re-assigns only dirty blocks
+with the same LDG greedy used by :func:`partition_plan`.
 """
 
 from __future__ import annotations
 
+from collections import Counter
+from dataclasses import dataclass, field as _dc_field
+
 import numpy as np
 
 from repro.graph.factor_graph import BiasFactor, FactorGraph, IsingFactor, RuleFactor
-from repro.graph.semantics import g_code_array, g_coded, g_value, sem_code
+from repro.graph.semantics import (
+    g_code_array,
+    g_coded,
+    g_value,
+    sem_code,
+    sem_from_code,
+)
 
 #: Rule factors touching more variables than this force their members into
 #: singleton blocks (avoids quadratic co-membership edges; such factors
@@ -81,6 +115,124 @@ def _csr(lists, dtype=np.int64):
         (x for l in lists for x in l), dtype=dtype, count=int(indptr[-1])
     )
     return indptr, flat
+
+
+class _Growable:
+    """Amortized-doubling backing buffer behind one flat global array."""
+
+    __slots__ = ("buf", "size")
+
+    def __init__(self, arr: np.ndarray) -> None:
+        arr = np.ascontiguousarray(arr)
+        self.buf = arr
+        self.size = arr.shape[0]
+
+    @property
+    def view(self) -> np.ndarray:
+        return self.buf[: self.size]
+
+    def append(self, values) -> np.ndarray:
+        values = np.asarray(values, dtype=self.buf.dtype)
+        need = self.size + values.shape[0]
+        if need > self.buf.shape[0]:
+            cap = max(need, 2 * self.buf.shape[0], 8)
+            grown = np.empty((cap,) + self.buf.shape[1:], dtype=self.buf.dtype)
+            grown[: self.size] = self.view
+            self.buf = grown
+        self.buf[self.size : need] = values
+        self.size = need
+        return self.view
+
+
+#: Global flat arrays maintained under :meth:`CompiledFactorGraph.apply_delta`
+#: (appends via amortized doubling; per-variable CSR snapshots are *not* in
+#: this set — they go stale for ``var_patched`` variables until compaction).
+_GROWABLE_NAMES = (
+    "bias_var",
+    "bias_wid",
+    "bias_alive",
+    "ising_row",
+    "ising_other",
+    "ising_wid",
+    "ising_alive",
+    "rule_head",
+    "rule_wid",
+    "rule_sem",
+    "rule_alive",
+    "grounding_ri",
+    "lit_gg",
+    "lit_var",
+    "lit_pos",
+    "evidence_mask",
+    "var_patched",
+    "_force_singleton",
+    "_needs_scalar",
+    "_big_count",
+)
+
+
+def bias_init_values(num_new_vars, old_num_vars, bias_add, weights, rng):
+    """Initial values for a patch's appended variables.
+
+    Draws each new variable from its bias-only conditional
+    ``P(x=1) = σ(2·Σ w_bias)`` — the warm-start initialization shared by
+    every patchable sampler (serial chain, worker chains, sharded
+    controller).  Evidence clamps are the caller's job (they differ per
+    consumer)."""
+    k = int(num_new_vars)
+    if not k:
+        return np.zeros(0, dtype=bool)
+    bias = np.zeros(k, dtype=np.float64)
+    for var, wid in bias_add:
+        if var >= old_num_vars:
+            bias[var - old_num_vars] += weights.value(wid)
+    p = 1.0 / (1.0 + np.exp(-2.0 * np.clip(bias, -40.0, 40.0)))
+    return rng.random(k) < p
+
+
+@dataclass
+class CompiledPatch:
+    """What one :meth:`CompiledFactorGraph.apply_delta` call changed.
+
+    Consumed by :meth:`GibbsCache.apply_patch` (cache splice), warm-started
+    samplers (state growth + evidence re-clamp) and the shared-memory
+    export (which slices it syncs).  ``ops`` is the picklable op list a
+    worker process replays on its attached compiled view so controller
+    and workers stay structurally identical without re-shipping the
+    graph.  When ``compacted`` is set the compiled object was fully
+    rebuilt (tombstone density crossed the threshold) and holders must
+    re-derive plans/caches instead of splicing.
+    """
+
+    ops: dict
+    old_num_vars: int
+    num_new_vars: int = 0
+    old_num_rules: int = 0
+    old_num_groundings: int = 0
+    old_num_lits: int = 0
+    old_num_ising: int = 0
+    old_num_bias: int = 0
+    dirty_vars: np.ndarray = None
+    evidence_sets: list = _dc_field(default_factory=list)
+    evidence_clears: list = _dc_field(default_factory=list)
+    bias_del: list = _dc_field(default_factory=list)
+    ising_del: list = _dc_field(default_factory=list)
+    bias_add: list = _dc_field(default_factory=list)
+    ising_add: list = _dc_field(default_factory=list)
+    compacted: bool = False
+
+    @property
+    def structural(self) -> bool:
+        return bool(
+            self.num_new_vars
+            or self.bias_del
+            or self.ising_del
+            or self.bias_add
+            or self.ising_add
+            or self.ops.get("rule_del")
+            or self.ops.get("slow_del")
+            or self.ops.get("rule_add")
+        )
 
 
 class CompiledFactorGraph:
@@ -111,10 +263,25 @@ class CompiledFactorGraph:
         grounding_ri_l = []
         lit_gg_l, lit_var_l, lit_pos_l = [], [], []
 
+        # Per-factor handle table: original factor index → compiled handle
+        # (bias/ising incidence positions, rule ri, slow si).  Kept aligned
+        # with the graph's factor list across apply_delta calls so removed
+        # factor ids resolve to tombstones in O(1).
+        fkind_l, fprov_l = [], []
+
         for fi, factor in enumerate(graph.factors):
             if isinstance(factor, BiasFactor):
+                fkind_l.append(0)
+                fprov_l.append((factor.var, len(bias_lists[factor.var])))
                 bias_lists[factor.var].append(factor.weight_id)
             elif isinstance(factor, IsingFactor):
+                fkind_l.append(1)
+                fprov_l.append(
+                    (
+                        (factor.i, len(ising_lists[factor.i])),
+                        (factor.j, len(ising_lists[factor.j])),
+                    )
+                )
                 ising_lists[factor.i].append((factor.j, factor.weight_id))
                 ising_lists[factor.j].append((factor.i, factor.weight_id))
             elif isinstance(factor, RuleFactor):
@@ -128,11 +295,15 @@ class CompiledFactorGraph:
                 if duplicated or factor.head in body_vars:
                     self.slow_factors[fi] = factor
                     si = len(self.slow_list)
+                    fkind_l.append(3)
+                    fprov_l.append(si)
                     self.slow_list.append(factor)
                     for var in factor.variables():
                         slow_lists[var].append(si)
                     continue
                 ri = len(rule_head_l)
+                fkind_l.append(2)
+                fprov_l.append(ri)
                 self.rule_factors[fi] = factor
                 rule_head_l.append(factor.head)
                 rule_wid_l.append(factor.weight_id)
@@ -234,6 +405,7 @@ class CompiledFactorGraph:
                     prev_ri = ri
                 segs[-1][1].append((gg, pos))
             self.py_body.append(segs)
+        self.py_bias = bias_lists
         self._rule_head_l = rule_head_l
         self._rule_wid_l = rule_wid_l
         self._rule_sem_l = rule_sem_l
@@ -246,13 +418,19 @@ class CompiledFactorGraph:
         # nbr: variables sharing any fast factor (used to prove two scan
         # neighbours conditionally independent).  Members of oversized rule
         # factors and slow-path factors are forced into singleton blocks.
-        nbr = [list({o for o, _ in l}) for l in ising_lists]
+        # One entry per *incidence* (parallel edges are not deduplicated):
+        # apply_delta decrements the neighbour multiset per removed factor,
+        # which is only sound if compile time counted per factor too.
+        nbr = [[o for o, _ in l] for l in ising_lists]
         self._force_singleton = np.zeros(n, dtype=bool)
         self._needs_scalar = np.zeros(n, dtype=bool)
+        self._big_count = np.zeros(n, dtype=np.int32)
         for factor in self.rule_factors.values():
             members = set(factor.variables())
             if len(members) > _BIG_FACTOR:
-                self._force_singleton[list(members)] = True
+                mlist = list(members)
+                self._force_singleton[mlist] = True
+                self._big_count[mlist] += 1
                 continue
             for a in members:
                 nbr[a].extend(members - {a})
@@ -263,15 +441,66 @@ class CompiledFactorGraph:
 
         self._plan_cache = {}
 
+        # ---- incremental-compilation state -------------------------------
+        # Tombstone masks, the factor-handle table, and amortized-doubling
+        # buffers behind the global arrays (see module docstring).
+        self.bias_alive = np.ones(self.bias_wid.shape[0], dtype=bool)
+        self.ising_alive = np.ones(self.ising_wid.shape[0], dtype=bool)
+        self.rule_alive = np.ones(self.num_rules, dtype=bool)
+        self.var_patched = np.zeros(n, dtype=bool)
+        self.slow_alive = [True] * len(self.slow_list)
+        self.num_live_rules = self.num_rules
+        self.num_live_slow = len(self.slow_list)
+        self._ri_factor = list(self.rule_factors.values())
+        self._patched = False
+        self._nbr_patch = {}
+        self._csr_num_vars = n
+        self._cap_views = None  # set on shared-memory attached instances
+
+        F = len(fkind_l)
+        self._fkind = np.asarray(fkind_l, dtype=np.int8)
+        self._fh1 = np.empty(F, dtype=np.int64)
+        self._fh2 = np.full(F, -1, dtype=np.int64)
+        for fi in range(F):
+            kind, prov = fkind_l[fi], fprov_l[fi]
+            if kind == 0:
+                var, occ = prov
+                self._fh1[fi] = self.bias_indptr[var] + occ
+            elif kind == 1:
+                (i, occ_i), (j, occ_j) = prov
+                self._fh1[fi] = self.ising_indptr[i] + occ_i
+                self._fh2[fi] = self.ising_indptr[j] + occ_j
+            else:
+                self._fh1[fi] = prov
+
+        self._grow = {}
+        for name in _GROWABLE_NAMES:
+            ga = _Growable(getattr(self, name))
+            self._grow[name] = ga
+            setattr(self, name, ga.view)
+
     # ------------------------------------------------------------------ #
 
     @property
     def is_pairwise(self) -> bool:
-        """True when the graph holds only bias/Ising factors."""
-        return self.num_rules == 0 and not self.slow_list
+        """True when the graph holds only (live) bias/Ising factors."""
+        return self.num_live_rules == 0 and self.num_live_slow == 0
+
+    @property
+    def has_patches(self) -> bool:
+        """True when any apply_delta landed since the last compaction."""
+        return self._patched
 
     def degree(self, var: int) -> int:
         """Number of factor incidences of ``var`` (proxy for Gibbs cost)."""
+        if self._patched and (var >= self._csr_num_vars or self.var_patched[var]):
+            return (
+                len(self.py_bias[var])
+                + len(self.py_ising[var])
+                + len(self.py_head[var])
+                + sum(len(lits) for _, lits in self.py_body[var])
+                + len(self.py_slow[var])
+            )
         return int(
             (self.bias_indptr[var + 1] - self.bias_indptr[var])
             + (self.ising_indptr[var + 1] - self.ising_indptr[var])
@@ -279,6 +508,24 @@ class CompiledFactorGraph:
             + (self.body_indptr[var + 1] - self.body_indptr[var])
             + (self.slow_indptr[var + 1] - self.slow_indptr[var])
         )
+
+    def degree_array(self) -> np.ndarray:
+        """Per-variable incidence counts, correct under patches."""
+        n0 = self._csr_num_vars
+        base = (
+            np.diff(self.bias_indptr)
+            + np.diff(self.ising_indptr)
+            + np.diff(self.head_indptr)
+            + np.diff(self.body_indptr)
+            + np.diff(self.slow_indptr)
+        )
+        if not self._patched:
+            return base
+        out = np.zeros(self.num_vars, dtype=np.int64)
+        out[:n0] = base
+        for var in np.flatnonzero(self.var_patched).tolist():
+            out[var] = self.degree(var)
+        return out
 
     def plan(self, graph: FactorGraph | None = None) -> "SweepPlan":
         """The (cached) block-structured scan plan for ``graph``'s evidence.
@@ -303,6 +550,444 @@ class CompiledFactorGraph:
             self._plan_cache[key] = plan
         return plan
 
+    # ------------------------------------------------------------------ #
+    # Incremental compilation
+    # ------------------------------------------------------------------ #
+
+    def _append(self, name: str, values) -> None:
+        """Append rows to one growable global array (both backends).
+
+        Controller instances append into private amortized-doubling
+        buffers; shared-memory attached instances re-slice their fixed
+        capacity views (the controller has already reserved the room and
+        is about to — or did — write identical content)."""
+        if self._cap_views is not None:
+            cap = self._cap_views[name]
+            cur = getattr(self, name).shape[0]
+            values = np.asarray(values, dtype=cap.dtype)
+            new = cur + values.shape[0]
+            if new > cap.shape[0]:
+                raise RuntimeError(
+                    f"shared-memory capacity of {name!r} exceeded; the "
+                    "controller must re-export before shipping this patch"
+                )
+            cap[cur:new] = values
+            setattr(self, name, cap[:new])
+        else:
+            ga = self._grow[name]
+            ga.append(values)
+            setattr(self, name, ga.view)
+
+    def _var_neighbors(self, var: int) -> set:
+        """Variables sharing a live fast factor with ``var`` (patch-aware)."""
+        counts = Counter()
+        if var < self._csr_num_vars:
+            lo, hi = int(self._nbr_indptr[var]), int(self._nbr_indptr[var + 1])
+            counts.update(self._nbr_idx[lo:hi].tolist())
+        patch = self._nbr_patch.get(var)
+        if patch:
+            counts.update(patch)
+        return {o for o, c in counts.items() if c > 0}
+
+    def _nbr_adjust(self, a: int, b: int, delta: int) -> None:
+        self._nbr_patch.setdefault(a, Counter())[b] += delta
+
+    def _reblock(self, vars_sorted) -> list:
+        """Greedy block partition of ``vars_sorted`` from the mirrors.
+
+        Same invariant as :meth:`SweepPlan._build_blocks` — no two block
+        members share a factor — but driven by :meth:`_var_neighbors`, so
+        it stays correct for patched and brand-new variables."""
+        blocks = []
+        cur, cur_nbrs = [], set()
+
+        def flush():
+            nonlocal cur, cur_nbrs
+            if cur:
+                blocks.append(_Block(self, np.asarray(cur, dtype=np.int64)))
+            cur, cur_nbrs = [], set()
+
+        for v in vars_sorted:
+            v = int(v)
+            if self._needs_scalar[v] or self._force_singleton[v]:
+                flush()
+                blocks.append(
+                    _Block(
+                        self,
+                        np.asarray([v], dtype=np.int64),
+                        scalar_only=bool(self._needs_scalar[v]),
+                    )
+                )
+                continue
+            if v in cur_nbrs:
+                flush()
+            cur.append(v)
+            cur_nbrs |= self._var_neighbors(v)
+        flush()
+        return blocks
+
+    def _ops_from_delta(self, delta) -> dict:
+        """Lower a :class:`FactorGraphDelta` to a picklable patch-op dict.
+
+        Resolves removed factor ids through the handle table (and compacts
+        the table to match the post-delta factor numbering).  The op dict
+        is what worker processes replay on their attached views."""
+        ops = {
+            "num_new_vars": int(delta.num_new_vars),
+            "evidence": {},
+            "bias_del": [],
+            "ising_del": [],
+            "rule_del": [],
+            "slow_del": [],
+            "bias_add": [],
+            "ising_add": [],
+            "rule_add": [],
+            # Kind of each new factor in delta order (0 bias / 1 ising /
+            # 2 rule): the handle table must follow the *factor list*
+            # order, which interleaves kinds.
+            "add_order": [],
+        }
+        removed = sorted(delta.removed_factor_ids)
+        for fi in removed:
+            kind = int(self._fkind[fi])
+            if kind == 0:
+                ops["bias_del"].append(int(self._fh1[fi]))
+            elif kind == 1:
+                ops["ising_del"].append((int(self._fh1[fi]), int(self._fh2[fi])))
+            elif kind == 2:
+                ri = int(self._fh1[fi])
+                factor = self._ri_factor[ri]
+                body_vars = sorted(factor.variables() - {factor.head})
+                ops["rule_del"].append((ri, int(factor.head), body_vars))
+            else:
+                ops["slow_del"].append(int(self._fh1[fi]))
+        if removed:
+            keep = np.ones(self._fkind.shape[0], dtype=bool)
+            keep[removed] = False
+            self._fkind = self._fkind[keep]
+            self._fh1 = self._fh1[keep]
+            self._fh2 = self._fh2[keep]
+        for factor in delta.new_factors:
+            if isinstance(factor, BiasFactor):
+                ops["add_order"].append(0)
+                ops["bias_add"].append((int(factor.var), int(factor.weight_id)))
+            elif isinstance(factor, IsingFactor):
+                ops["add_order"].append(1)
+                ops["ising_add"].append(
+                    (int(factor.i), int(factor.j), int(factor.weight_id))
+                )
+            elif isinstance(factor, RuleFactor):
+                ops["add_order"].append(2)
+                ops["rule_add"].append(
+                    (
+                        int(factor.head),
+                        int(factor.weight_id),
+                        sem_code(factor.semantics),
+                        tuple(
+                            tuple((int(v), bool(p)) for v, p in g)
+                            for g in factor.groundings
+                        ),
+                    )
+                )
+            else:
+                raise TypeError(f"unknown factor type {type(factor)!r}")
+        for offset, val in delta.new_var_evidence.items():
+            ops["evidence"][self.num_vars + int(offset)] = bool(val)
+        for var, val in delta.evidence_updates.items():
+            ops["evidence"][int(var)] = None if val is None else bool(val)
+        return ops
+
+    def apply_delta(
+        self, delta, updated_graph: FactorGraph, compact_threshold: float = 0.25
+    ) -> CompiledPatch:
+        """Patch the compiled view in place from a factor-graph delta.
+
+        ``updated_graph`` must be ``delta.apply(self.graph)`` — the engine
+        already materializes it, so it is taken rather than recomputed.
+        Returns the :class:`CompiledPatch` that cache/plan/export holders
+        splice from.  When the tombstone/patched density crosses
+        ``compact_threshold`` the instance is recompiled in place
+        (amortized O(|graph|)) and the patch is marked ``compacted``."""
+        ops = self._ops_from_delta(delta)
+        patch = self.apply_patch_ops(ops, updated_graph=updated_graph)
+        if compact_threshold is not None and self.patch_fraction() > compact_threshold:
+            self.compact()
+            patch.compacted = True
+        return patch
+
+    def apply_patch_ops(self, ops: dict, updated_graph=None) -> CompiledPatch:
+        """Replay a patch-op dict against this compiled view.
+
+        The op application is deterministic, so a controller (building
+        the ops from a delta) and its shared-memory workers (receiving
+        them over a pipe) assign identical new rule/grounding/incidence
+        ids.  ``updated_graph`` swaps in the post-delta graph on the
+        controller; workers pass ``None`` and their stub graph is patched
+        instead."""
+        patch = CompiledPatch(
+            ops=ops,
+            old_num_vars=self.num_vars,
+            num_new_vars=int(ops["num_new_vars"]),
+            old_num_rules=self.num_rules,
+            old_num_groundings=self.num_groundings,
+            old_num_lits=self.lit_gg.shape[0],
+            old_num_ising=self.ising_wid.shape[0],
+            old_num_bias=self.bias_wid.shape[0],
+        )
+        old_evidence_key = tuple(sorted(self.graph.evidence.items()))
+        dirty = set()
+        track_handles = self._fkind is not None
+        handles_by_kind = {0: [], 1: [], 2: []}
+
+        # ---- new variables ----------------------------------------------
+        k = patch.num_new_vars
+        n0 = self.num_vars
+        if k:
+            self.num_vars = n0 + k
+            self._append("evidence_mask", np.zeros(k, dtype=bool))
+            self._append("var_patched", np.ones(k, dtype=bool))
+            self._append("_force_singleton", np.zeros(k, dtype=bool))
+            self._append("_needs_scalar", np.zeros(k, dtype=bool))
+            self._append("_big_count", np.zeros(k, dtype=np.int32))
+            for _ in range(k):
+                self.py_bias.append([])
+                self.py_ising.append([])
+                self.py_head.append([])
+                self.py_body.append([])
+                self.py_slow.append([])
+
+        def touch(var):
+            dirty.add(int(var))
+            self.var_patched[var] = True
+
+        # ---- removals (tombstones + mirror scrub) ------------------------
+        for kb in ops["bias_del"]:
+            var, wid = int(self.bias_var[kb]), int(self.bias_wid[kb])
+            self.bias_alive[kb] = False
+            self.py_bias[var].remove(wid)
+            patch.bias_del.append(int(kb))
+            touch(var)
+        for k1, k2 in ops["ising_del"]:
+            i, j = int(self.ising_row[k1]), int(self.ising_other[k1])
+            wid = int(self.ising_wid[k1])
+            self.ising_alive[k1] = False
+            self.ising_alive[k2] = False
+            self.py_ising[i].remove((j, wid))
+            self.py_ising[j].remove((i, wid))
+            self._nbr_adjust(i, j, -1)
+            self._nbr_adjust(j, i, -1)
+            patch.ising_del.append((int(k1), int(k2)))
+            touch(i)
+            touch(j)
+        for ri, head, body_vars in ops["rule_del"]:
+            self.rule_alive[ri] = False
+            self.num_live_rules -= 1
+            self.py_head[head].remove(ri)
+            members = set(body_vars) | {head}
+            for var in body_vars:
+                segs = self.py_body[var]
+                for s, (seg_ri, _lits) in enumerate(segs):
+                    if seg_ri == ri:
+                        del segs[s]
+                        break
+            if len(members) > _BIG_FACTOR:
+                for var in members:
+                    self._big_count[var] -= 1
+                    if self._big_count[var] <= 0:
+                        self._force_singleton[var] = False
+            else:
+                for a in members:
+                    for b in members:
+                        if a != b:
+                            self._nbr_adjust(a, b, -1)
+            for var in members:
+                touch(var)
+        for si in ops["slow_del"]:
+            factor = self.slow_list[si]
+            self.slow_alive[si] = False
+            self.num_live_slow -= 1
+            for var in factor.variables():
+                self.py_slow[var].remove(si)
+                self._needs_scalar[var] = bool(self.py_slow[var])
+                touch(var)
+
+        # ---- additions ---------------------------------------------------
+        for var, wid in ops["bias_add"]:
+            kb = self.bias_wid.shape[0]
+            self._append("bias_var", [var])
+            self._append("bias_wid", [wid])
+            self._append("bias_alive", [True])
+            self.py_bias[var].append(wid)
+            patch.bias_add.append((int(var), int(wid)))
+            if track_handles:
+                handles_by_kind[0].append((0, kb, -1))
+            touch(var)
+        for i, j, wid in ops["ising_add"]:
+            k1 = self.ising_wid.shape[0]
+            self._append("ising_row", [i, j])
+            self._append("ising_other", [j, i])
+            self._append("ising_wid", [wid, wid])
+            self._append("ising_alive", [True, True])
+            self.py_ising[i].append((j, wid))
+            self.py_ising[j].append((i, wid))
+            self._nbr_adjust(i, j, 1)
+            self._nbr_adjust(j, i, 1)
+            patch.ising_add.append((int(i), int(j), int(wid)))
+            if track_handles:
+                handles_by_kind[1].append((1, k1, k1 + 1))
+            touch(i)
+            touch(j)
+        for head, wid, code, groundings in ops["rule_add"]:
+            semantics = sem_from_code(code)
+            factor = RuleFactor(
+                weight_id=wid, head=head, groundings=groundings, semantics=semantics
+            )
+            body_vars = set()
+            duplicated = False
+            for grounding in groundings:
+                per = [v for v, _ in grounding]
+                if len(per) != len(set(per)):
+                    duplicated = True
+                body_vars.update(per)
+            if duplicated or head in body_vars:
+                si = len(self.slow_list)
+                self.slow_list.append(factor)
+                self.slow_alive.append(True)
+                self.num_live_slow += 1
+                for var in factor.variables():
+                    self.py_slow[var].append(si)
+                    self._needs_scalar[var] = True
+                    touch(var)
+                if track_handles:
+                    handles_by_kind[2].append((3, si, -1))
+                continue
+            ri = self.num_rules
+            self.num_rules += 1
+            self.num_live_rules += 1
+            self._append("rule_head", [head])
+            self._append("rule_wid", [wid])
+            self._append("rule_sem", [code])
+            self._append("rule_alive", [True])
+            self._rule_head_l.append(head)
+            self._rule_wid_l.append(wid)
+            self._rule_sem_l.append(semantics)
+            if self._ri_factor is not None:
+                self._ri_factor.append(factor)
+            if self.rule_sem_uniform is not None and code != self.rule_sem_uniform:
+                self.rule_sem_uniform = None
+            elif self.rule_sem_uniform is None and self.num_rules == 1:
+                self.rule_sem_uniform = code
+            self.py_head[head].append(ri)
+            per_var = {}
+            gg0 = self.num_groundings
+            lit_gg_new, lit_var_new, lit_pos_new = [], [], []
+            for g_off, grounding in enumerate(groundings):
+                gg = gg0 + g_off
+                for v, p in grounding:
+                    lit_gg_new.append(gg)
+                    lit_var_new.append(v)
+                    lit_pos_new.append(bool(p))
+                    per_var.setdefault(v, []).append((gg, bool(p)))
+            self.num_groundings = gg0 + len(groundings)
+            self._append("grounding_ri", [ri] * len(groundings))
+            if lit_gg_new:
+                self._append("lit_gg", lit_gg_new)
+                self._append("lit_var", lit_var_new)
+                self._append("lit_pos", lit_pos_new)
+            for v, lits in per_var.items():
+                self.py_body[v].append((ri, lits))
+            members = body_vars | {head}
+            if len(members) > _BIG_FACTOR:
+                for var in members:
+                    self._big_count[var] += 1
+                    self._force_singleton[var] = True
+            else:
+                for a in members:
+                    for b in members:
+                        if a != b:
+                            self._nbr_adjust(a, b, 1)
+            if track_handles:
+                handles_by_kind[2].append((2, ri, -1))
+            for var in members:
+                touch(var)
+
+        if track_handles and ops["add_order"]:
+            # Interleave the per-kind handle rows back into the factor
+            # list's append order.
+            iters = {kind: iter(rows) for kind, rows in handles_by_kind.items()}
+            new_handles = [next(iters[kind]) for kind in ops["add_order"]]
+            self._fkind = np.concatenate(
+                [self._fkind, np.asarray([h[0] for h in new_handles], dtype=np.int8)]
+            )
+            self._fh1 = np.concatenate(
+                [self._fh1, np.asarray([h[1] for h in new_handles], dtype=np.int64)]
+            )
+            self._fh2 = np.concatenate(
+                [self._fh2, np.asarray([h[2] for h in new_handles], dtype=np.int64)]
+            )
+
+        # ---- evidence ----------------------------------------------------
+        for var, val in sorted(ops["evidence"].items()):
+            var = int(var)
+            if val is None:
+                self.evidence_mask[var] = False
+                patch.evidence_clears.append(var)
+            else:
+                self.evidence_mask[var] = True
+                patch.evidence_sets.append((var, bool(val)))
+        self.free_vars = np.flatnonzero(~self.evidence_mask)
+
+        if updated_graph is not None:
+            self.graph = updated_graph
+        else:
+            # Worker-side stub graph: patch evidence + size in place.
+            self.graph.apply_patch(k, ops["evidence"])
+
+        if patch.structural:
+            self._patched = True
+        patch.dirty_vars = np.fromiter(sorted(dirty), dtype=np.int64, count=len(dirty))
+
+        # ---- repair the cached scan plan ---------------------------------
+        # Only the plan keyed to the graph's own evidence is patched (and
+        # re-keyed); plans derived for other evidence configurations (e.g.
+        # a free learning chain) are dropped and lazily rebuilt.
+        plan = self._plan_cache.pop(old_evidence_key, None)
+        self._plan_cache = {}
+        if plan is not None:
+            plan.apply_patch(self, patch)
+            new_key = tuple(sorted(self.graph.evidence.items()))
+            self._plan_cache[new_key] = plan
+        return patch
+
+    def patch_fraction(self) -> float:
+        """Max tombstone/patched density across the compiled state."""
+        if not self._patched:
+            return 0.0
+        ratios = [float(np.count_nonzero(self.var_patched)) / max(self.num_vars, 1)]
+        if self.bias_alive.shape[0]:
+            ratios.append(1.0 - np.count_nonzero(self.bias_alive) / self.bias_alive.shape[0])
+        if self.ising_alive.shape[0]:
+            ratios.append(1.0 - np.count_nonzero(self.ising_alive) / self.ising_alive.shape[0])
+        if self.num_rules:
+            ratios.append(1.0 - self.num_live_rules / self.num_rules)
+        if self.slow_list:
+            ratios.append(1.0 - self.num_live_slow / len(self.slow_list))
+        return max(ratios)
+
+    def compact(self) -> None:
+        """Recompile the current graph in place (clears all tombstones).
+
+        Object identity is preserved so long-lived holders keep working,
+        but plans/blocks/caches derived before the compaction are invalid
+        — holders must re-derive them (apply_delta signals this with
+        ``CompiledPatch.compacted``)."""
+        if self._cap_views is not None:
+            raise RuntimeError(
+                "shared-memory attached views cannot compact; the "
+                "controller re-exports instead"
+            )
+        self.__init__(self.graph)
+
 
 class _Block:
     """One run of mutually factor-independent variables in scan order.
@@ -326,6 +1011,8 @@ class _Block:
         "fseg_var",
         "num_fseg",
         "pure_pairwise",
+        "has_patched",
+        "seq",
     )
 
     def __init__(self, compiled, vars_, scalar_only=False):
@@ -333,6 +1020,11 @@ class _Block:
         self.scalar_only = scalar_only
         self.use_batch = (not scalar_only) and vars_.size >= _BATCH_MIN
         self.pure_pairwise = False
+        # Blocks holding patched variables must not take the batched
+        # pairwise-commit shortcut (it walks stale per-variable CSR
+        # slices); the per-variable commit path uses the mirrors.
+        self.has_patched = bool(compiled.var_patched[vars_].any())
+        self.seq = -1
         if not self.use_batch:
             return
         head_ri, head_seg = [], []
@@ -375,11 +1067,32 @@ class SweepPlan:
 
     def __init__(self, compiled: CompiledFactorGraph, evidence_mask) -> None:
         self.compiled = compiled
-        self.free_vars = np.flatnonzero(~np.asarray(evidence_mask, dtype=bool))
+        self.evidence_mask = np.asarray(evidence_mask, dtype=bool).copy()
+        self.free_vars = np.flatnonzero(~self.evidence_mask)
+        self._next_seq = 0
         self.blocks = self._build_blocks()
+        self._index_blocks()
+
+    def _take_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def _index_blocks(self) -> None:
+        """(Re)build the var → block-position map and stamp block seqs."""
+        self._block_of = np.full(self.compiled.num_vars, -1, dtype=np.int64)
+        for bi, block in enumerate(self.blocks):
+            self._block_of[block.vars] = bi
+            if block.seq < 0:
+                block.seq = self._take_seq()
 
     def _build_blocks(self):
         c = self.compiled
+        if c.has_patches:
+            # Patched compilation: the CSR neighbour index is stale for
+            # patched variables, so drive the same greedy from the
+            # mirror-backed neighbour sets.
+            return c._reblock(self.free_vars.tolist())
         stamp = np.full(c.num_vars, -1, dtype=np.int64)
         indptr, idx = c._nbr_indptr, c._nbr_idx
         blocks = []
@@ -416,6 +1129,57 @@ class SweepPlan:
         flush()
         return blocks
 
+    def apply_patch(self, compiled: CompiledFactorGraph, patch: CompiledPatch) -> None:
+        """Re-plan only the blocks touched by a compiled patch, in place.
+
+        Blocks whose variables gained or lost factor incidence — plus
+        blocks losing members to new evidence — are rebuilt from the
+        mirrors; every other block object survives untouched (shard
+        repair keys off the surviving block ``seq`` stamps).  Variables
+        freed from evidence and appended free variables are blocked by
+        the same greedy and merged into scan order."""
+        old_n = patch.old_num_vars
+        k = patch.num_new_vars
+        mask = self.evidence_mask
+        if k:
+            mask = np.concatenate([mask, np.zeros(k, dtype=bool)])
+        freed, clamped = [], []
+        for var, val in patch.ops["evidence"].items():
+            var = int(var)
+            was = bool(mask[var])
+            now = val is not None
+            if now != was:
+                (clamped if now else freed).append(var)
+                mask[var] = now
+        self.evidence_mask = mask
+        if k:
+            self._block_of = np.concatenate(
+                [self._block_of, np.full(k, -1, dtype=np.int64)]
+            )
+
+        affected = set()
+        dirty = patch.dirty_vars if patch.dirty_vars is not None else ()
+        for v in list(dirty) + clamped:
+            v = int(v)
+            if v < old_n:
+                b = int(self._block_of[v])
+                if b >= 0:
+                    affected.add(b)
+        rebuild = set()
+        for b in affected:
+            rebuild.update(int(x) for x in self.blocks[b].vars)
+        rebuild.update(freed)
+        rebuild.update(range(old_n, old_n + k))
+        rebuild_vars = sorted(v for v in rebuild if not mask[v])
+
+        new_blocks = compiled._reblock(rebuild_vars)
+        survivors = [b for i, b in enumerate(self.blocks) if i not in affected]
+        merged = survivors + new_blocks
+        merged.sort(key=lambda b: int(b.vars[0]))
+        self.blocks = merged
+        self.free_vars = np.flatnonzero(~mask)
+        self._index_blocks()
+
     @property
     def num_blocks(self) -> int:
         return len(self.blocks)
@@ -431,14 +1195,7 @@ class SweepPlan:
         measured timings (``repro.inference.parallel.measure_block_costs``)
         for a calibrated partition instead.
         """
-        c = self.compiled
-        degree = (
-            np.diff(c.bias_indptr)
-            + np.diff(c.ising_indptr)
-            + np.diff(c.head_indptr)
-            + np.diff(c.body_indptr)
-            + np.diff(c.slow_indptr)
-        )
+        degree = self.compiled.degree_array()
         costs = np.empty(len(self.blocks), dtype=np.float64)
         for bi, block in enumerate(self.blocks):
             vars_ = block.vars
@@ -504,6 +1261,14 @@ class ShardPlan:
             [float(self.block_costs[s].sum()) for s in self.shards]
         )
         self.boundary_cost = float(self.block_costs[self.boundary].sum())
+        # Snapshot block-seq → shard for incremental repair: block indices
+        # shift when the plan is patched, seq stamps do not.
+        self._seq_assign = {}
+        for s, shard in enumerate(self.shards):
+            for bi in shard:
+                self._seq_assign[int(blocks[bi].seq)] = s
+        for bi, owner in zip(self.boundary, self.boundary_owner):
+            self._seq_assign[int(blocks[bi].seq)] = int(owner)
 
     def owned_blocks(self, shard: int) -> np.ndarray:
         """Interior + owned-boundary block ids of ``shard`` in scan order
@@ -555,7 +1320,7 @@ class ShardPlan:
         c = compiled
         a = var_shard[c.ising_row]
         b = var_shard[c.ising_other]
-        bad = (a >= 0) & (b >= 0) & (a != b)
+        bad = (a >= 0) & (b >= 0) & (a != b) & c.ising_alive
         if bad.any():
             k = int(np.flatnonzero(bad)[0])
             raise AssertionError(
@@ -570,10 +1335,14 @@ class ShardPlan:
             sorted_vars = c.lit_var[order]
             bounds = np.searchsorted(ri_of_lit[order], np.arange(c.num_rules + 1))
             for ri in range(c.num_rules):
+                if not c.rule_alive[ri]:
+                    continue
                 members = [int(c.rule_head[ri])]
                 members.extend(sorted_vars[bounds[ri] : bounds[ri + 1]].tolist())
                 _check(members, f"rule factor {ri}")
         for si, factor in enumerate(c.slow_list):
+            if not c.slow_alive[si]:
+                continue
             _check(factor.variables(), f"slow factor {si}")
 
 
@@ -625,28 +1394,102 @@ def partition_plan(
     for bi, block in enumerate(blocks):
         var_block[block.vars] = bi
 
-    # ---- block-level affinity edges from the CSR incidence arrays -------
+    adj_indptr, adj_dst, adj_w = _block_affinity(c, var_block, B)
+    shard_of = _ldg_assign(
+        costs, adj_indptr, adj_dst, adj_w, n_shards, capacity_slack,
+        np.full(B, -1, dtype=np.int64),
+    )
+    is_boundary_block = _demote_boundary(c, var_block, shard_of, n_shards)
+
+    boundary = np.flatnonzero(is_boundary_block)
+    shards = [
+        np.flatnonzero((shard_of == s) & ~is_boundary_block)
+        for s in range(n_shards)
+    ]
+    return ShardPlan(plan, shards, boundary, shard_of[boundary], costs)
+
+
+def repair_shard_plan(
+    compiled: CompiledFactorGraph,
+    plan: SweepPlan,
+    prev: ShardPlan,
+    n_shards: int,
+    block_costs=None,
+    capacity_slack: float = 0.15,
+) -> ShardPlan:
+    """Incrementally re-partition a patched plan into shards.
+
+    Blocks that survived the plan patch keep their previous shard (looked
+    up by block ``seq`` stamp — indices shift, stamps do not); only new /
+    rebuilt blocks stream through the same LDG greedy that
+    :func:`partition_plan` uses.  The cross-factor demotion pass then
+    re-establishes the :meth:`ShardPlan.validate` invariant globally."""
+    blocks = plan.blocks
+    B = len(blocks)
+    costs = (
+        plan.block_costs()
+        if block_costs is None
+        else np.asarray(block_costs, dtype=np.float64)
+    )
+    if B == 0 or n_shards <= 1:
+        return partition_plan(
+            compiled, plan, n_shards, block_costs=costs, capacity_slack=capacity_slack
+        )
+
+    prev_assign = prev._seq_assign
+    shard_of = np.full(B, -1, dtype=np.int64)
+    for bi, block in enumerate(blocks):
+        shard_of[bi] = prev_assign.get(int(block.seq), -1)
+
+    c = compiled
+    var_block = np.full(c.num_vars, -1, dtype=np.int64)
+    for bi, block in enumerate(blocks):
+        var_block[block.vars] = bi
+
+    adj_indptr, adj_dst, adj_w = _block_affinity(c, var_block, B)
+    shard_of = _ldg_assign(
+        costs, adj_indptr, adj_dst, adj_w, n_shards, capacity_slack, shard_of
+    )
+    is_boundary_block = _demote_boundary(c, var_block, shard_of, n_shards)
+
+    boundary = np.flatnonzero(is_boundary_block)
+    shards = [
+        np.flatnonzero((shard_of == s) & ~is_boundary_block)
+        for s in range(n_shards)
+    ]
+    return ShardPlan(plan, shards, boundary, shard_of[boundary], costs)
+
+
+def _block_affinity(c: CompiledFactorGraph, var_block, B: int):
+    """Block-level affinity CSR from the (alive-masked) incidence arrays."""
     pair_a, pair_b = [], []
 
-    def _add_pairs(a, b):
+    def _add_pairs(a, b, valid=None):
         mask = (a >= 0) & (b >= 0) & (a != b)
+        if valid is not None:
+            mask &= valid
         if mask.any():
             pair_a.append(a[mask])
             pair_b.append(b[mask])
 
     if c.ising_row.size:
         # Each undirected edge appears twice, once per direction.
-        _add_pairs(var_block[c.ising_row], var_block[c.ising_other])
+        _add_pairs(
+            var_block[c.ising_row], var_block[c.ising_other], c.ising_alive
+        )
     if c.lit_var.size:
         # Star approximation: link every body-literal block to the rule's
         # head block (and back) — cheap, and enough signal for the greedy
         # assignment; exact cross detection happens in the demotion pass.
         ri_of_lit = c.grounding_ri[c.lit_gg]
+        lit_alive = c.rule_alive[ri_of_lit]
         lit_blocks = var_block[c.lit_var]
         head_blocks = var_block[c.rule_head][ri_of_lit]
-        _add_pairs(lit_blocks, head_blocks)
-        _add_pairs(head_blocks, lit_blocks)
-    for factor in c.slow_list:
+        _add_pairs(lit_blocks, head_blocks, lit_alive)
+        _add_pairs(head_blocks, lit_blocks, lit_alive)
+    for si, factor in enumerate(c.slow_list):
+        if not c.slow_alive[si]:
+            continue
         members = sorted(
             {int(var_block[v]) for v in factor.variables() if var_block[v] >= 0}
         )
@@ -666,19 +1509,32 @@ def partition_plan(
         adj_dst = np.zeros(0, dtype=np.int64)
         weights = np.zeros(0, dtype=np.int64)
         adj_indptr = np.zeros(B + 1, dtype=np.int64)
+    return adj_indptr, adj_dst, weights
 
-    # ---- greedy balanced assignment ------------------------------------
+
+def _ldg_assign(
+    costs, adj_indptr, adj_dst, adj_w, n_shards: int, capacity_slack: float, shard_of
+):
+    """Greedy balanced assignment of the ``shard_of < 0`` blocks.
+
+    Preassigned blocks (incremental repair) contribute to shard loads and
+    affinities but are not moved."""
+    B = costs.shape[0]
     total = float(costs.sum())
     capacity = (total / n_shards) * (1.0 + capacity_slack) or 1.0
     load = np.zeros(n_shards, dtype=np.float64)
-    shard_of = np.full(B, -1, dtype=np.int64)
-    order = np.argsort(-costs, kind="stable")
+    for s in range(n_shards):
+        pre = shard_of == s
+        if pre.any():
+            load[s] = float(costs[pre].sum())
+    unassigned = np.flatnonzero(shard_of < 0)
+    order = unassigned[np.argsort(-costs[unassigned], kind="stable")]
     aff = np.zeros(n_shards, dtype=np.float64)
     for bi in order:
         bi = int(bi)
         aff[:] = 0.0
         lo, hi = adj_indptr[bi], adj_indptr[bi + 1]
-        for nb, w in zip(adj_dst[lo:hi], weights[lo:hi]):
+        for nb, w in zip(adj_dst[lo:hi], adj_w[lo:hi]):
             s = shard_of[nb]
             if s >= 0:
                 aff[s] += float(w)
@@ -688,8 +1544,12 @@ def partition_plan(
             best = int(load.argmin())
         shard_of[bi] = best
         load[best] += costs[bi]
+    return shard_of
 
-    # ---- demote blocks on cross-shard factors to the boundary ----------
+
+def _demote_boundary(c: CompiledFactorGraph, var_block, shard_of, n_shards: int):
+    """Mark blocks on cross-shard (live) factors for the serial boundary."""
+    B = shard_of.shape[0]
     var_shard = np.where(var_block >= 0, shard_of[var_block], -1)
     is_boundary_block = np.zeros(B, dtype=bool)
 
@@ -700,7 +1560,7 @@ def partition_plan(
     if c.ising_row.size:
         a = var_shard[c.ising_row]
         b = var_shard[c.ising_other]
-        cross = (a >= 0) & (b >= 0) & (a != b)
+        cross = (a >= 0) & (b >= 0) & (a != b) & c.ising_alive
         if cross.any():
             _mark_vars(c.ising_row[cross])
             _mark_vars(c.ising_other[cross])
@@ -722,23 +1582,19 @@ def partition_plan(
                 rule_min, ri_of_lit, np.where(lit_shard >= 0, lit_shard, BIG)
             )
             np.maximum.at(rule_max, ri_of_lit, lit_shard)
-        cross_rule = (rule_min < rule_max) & (rule_min < BIG)
+        cross_rule = (rule_min < rule_max) & (rule_min < BIG) & c.rule_alive
         if cross_rule.any():
             _mark_vars(c.rule_head[cross_rule])
             if c.lit_var.size:
                 _mark_vars(c.lit_var[cross_rule[c.grounding_ri[c.lit_gg]]])
-    for factor in c.slow_list:
+    for si, factor in enumerate(c.slow_list):
+        if not c.slow_alive[si]:
+            continue
         members = np.fromiter(factor.variables(), dtype=np.int64)
         shards = {int(s) for s in var_shard[members] if s >= 0}
         if len(shards) > 1:
             _mark_vars(members)
-
-    boundary = np.flatnonzero(is_boundary_block)
-    shards = [
-        np.flatnonzero((shard_of == s) & ~is_boundary_block)
-        for s in range(n_shards)
-    ]
-    return ShardPlan(plan, shards, boundary, shard_of[boundary], costs)
+    return is_boundary_block
 
 
 class GibbsCache:
@@ -797,13 +1653,14 @@ class GibbsCache:
         self._w_list = w.tolist()
         n = c.num_vars
         if c.bias_wid.size:
+            # Tombstoned incidences contribute nothing (alive multiply).
             field = np.bincount(
-                c.bias_var, weights=w[c.bias_wid], minlength=n
+                c.bias_var, weights=w[c.bias_wid] * c.bias_alive, minlength=n
             )
         else:
             field = np.zeros(n, dtype=np.float64)
         if c.ising_wid.size:
-            self._edge_w = w[c.ising_wid]
+            self._edge_w = w[c.ising_wid] * c.ising_alive
             spins = np.where(np.asarray(assignment, dtype=bool), 1.0, -1.0)
             field = field + np.bincount(
                 c.ising_row,
@@ -835,7 +1692,10 @@ class GibbsCache:
 
         segs = c.py_body[var]
         if segs:
-            if c.body_indptr[var + 1] - c.body_indptr[var] > _SCALAR_NUMPY_MIN:
+            if (
+                not c.var_patched[var]
+                and c.body_indptr[var + 1] - c.body_indptr[var] > _SCALAR_NUMPY_MIN
+            ):
                 delta += self._body_delta_numpy(var, assignment)
             else:
                 unsat = self.unsat
@@ -978,7 +1838,7 @@ class GibbsCache:
 
         ising = c.py_ising[var]
         if ising:
-            if len(ising) <= _SCALAR_NUMPY_MIN:
+            if len(ising) <= _SCALAR_NUMPY_MIN or c.var_patched[var]:
                 field = self.field
                 w = self._w_list
                 for other, wid in ising:
@@ -991,7 +1851,10 @@ class GibbsCache:
 
         segs = c.py_body[var]
         if segs:
-            if c.body_indptr[var + 1] - c.body_indptr[var] <= _SCALAR_NUMPY_MIN:
+            if (
+                c.var_patched[var]
+                or c.body_indptr[var + 1] - c.body_indptr[var] <= _SCALAR_NUMPY_MIN
+            ):
                 unsat = self.unsat
                 nsat = self.nsat
                 for ri, lits in segs:
@@ -1047,13 +1910,106 @@ class GibbsCache:
         np.add.at(self.field, c.ising_other[idx], self._edge_w[idx] * ds)
 
     # ------------------------------------------------------------------ #
+    # Incremental repair
+    # ------------------------------------------------------------------ #
+
+    def apply_patch(self, patch: CompiledPatch, assignment: np.ndarray) -> None:
+        """Splice the caches to match a compiled patch, in O(|Δ|).
+
+        ``assignment`` must already be grown to the new variable count,
+        with the new variables holding their initial values and *old*
+        variables untouched (evidence re-clamps go through
+        :meth:`commit_flip` afterwards, so the caches follow).  Tombstoned
+        rules/groundings keep their (now unread) cache entries; new
+        groundings get theirs from the appended literal slices."""
+        c = self.compiled
+        if patch.compacted:
+            raise RuntimeError("compacted patch: rebuild the cache instead")
+        assignment = np.asarray(assignment, dtype=bool)
+        if assignment.shape[0] != c.num_vars:
+            raise ValueError(
+                f"assignment has {assignment.shape[0]} vars, compiled has {c.num_vars}"
+            )
+
+        # ---- unsat / nsat for appended groundings and rules --------------
+        new_g = c.num_groundings - patch.old_num_groundings
+        new_r = c.num_rules - patch.old_num_rules
+        if new_g or new_r:
+            lit_gg = c.lit_gg[patch.old_num_lits :]
+            lit_var = c.lit_var[patch.old_num_lits :]
+            lit_pos = c.lit_pos[patch.old_num_lits :]
+            mismatch = (assignment[lit_var] != lit_pos).astype(np.float64)
+            new_unsat = np.bincount(
+                lit_gg - patch.old_num_groundings, weights=mismatch, minlength=new_g
+            ).astype(np.int64)
+            self.unsat = np.concatenate([self.unsat, new_unsat])
+            new_nsat = np.bincount(
+                c.grounding_ri[patch.old_num_groundings :] - patch.old_num_rules,
+                weights=(new_unsat == 0).astype(np.float64),
+                minlength=new_r,
+            ).astype(np.int64)
+            self.nsat = np.concatenate([self.nsat, new_nsat])
+
+        # ---- field -------------------------------------------------------
+        k = patch.num_new_vars
+        version = c.graph.weights.version
+        if version != self._weights_version:
+            # Weight values changed too: the version-gated full rebuild
+            # (alive-masked) reconstructs the field wholesale.
+            if k:
+                self.field = np.concatenate([self.field, np.zeros(k)])
+            self._weights_version = None
+            self.refresh_weights(assignment)
+            return
+        w = np.asarray(c.graph.weights.values_array(), dtype=np.float64)
+        self.weights_vec = w
+        self._w_list = w.tolist()
+        if k:
+            self.field = np.concatenate([self.field, np.zeros(k)])
+        field = self.field
+
+        def spin(v):
+            return 1.0 if assignment[v] else -1.0
+
+        for k1, k2 in patch.ising_del:
+            i, j = int(c.ising_row[k1]), int(c.ising_other[k1])
+            field[i] -= self._edge_w[k1] * spin(j)
+            field[j] -= self._edge_w[k2] * spin(i)
+            self._edge_w[k1] = 0.0
+            self._edge_w[k2] = 0.0
+        for kb in patch.bias_del:
+            field[int(c.bias_var[kb])] -= w[int(c.bias_wid[kb])]
+        for var, wid in patch.bias_add:
+            field[var] += w[wid]
+        old_i = patch.old_num_ising
+        if c.ising_wid.shape[0] > old_i:
+            self._edge_w = np.concatenate(
+                [self._edge_w, w[c.ising_wid[old_i:]]]
+            )
+        for i, j, wid in patch.ising_add:
+            field[i] += w[wid] * spin(j)
+            field[j] += w[wid] * spin(i)
+
+    # ------------------------------------------------------------------ #
 
     def check_consistency(self, assignment: np.ndarray) -> None:
-        """Recompute all caches from scratch and compare (test helper)."""
-        fresh = GibbsCache(self.compiled, assignment)
-        if not np.array_equal(fresh.unsat, self.unsat):
+        """Recompute all caches from scratch and compare (test helper).
+
+        Tombstoned groundings/rules are excluded: their cache entries are
+        deliberately frozen (no kernel reads them), so only live entries
+        must agree with a from-scratch rebuild."""
+        c = self.compiled
+        fresh = GibbsCache(c, assignment)
+        galive = (
+            c.rule_alive[c.grounding_ri]
+            if c.num_groundings
+            else np.zeros(0, dtype=bool)
+        )
+        if not np.array_equal(fresh.unsat[galive], self.unsat[galive]):
             raise AssertionError("GibbsCache.unsat diverged from assignment")
-        if not np.array_equal(fresh.nsat, self.nsat):
+        if not np.array_equal(
+            fresh.nsat[c.rule_alive], self.nsat[c.rule_alive]
+        ):
             raise AssertionError("GibbsCache.nsat diverged from assignment")
         if not np.allclose(fresh.field, self.field, rtol=1e-9, atol=1e-9):
             raise AssertionError("GibbsCache.field diverged from assignment")

@@ -89,8 +89,13 @@ class FactorGraphDelta:
     # Application
     # ------------------------------------------------------------------ #
 
-    def apply(self, base: FactorGraph) -> FactorGraph:
-        """Materialise the updated graph ``base ⊕ delta`` (base untouched)."""
+    def apply(self, base: FactorGraph, validate: bool = True) -> FactorGraph:
+        """Materialise the updated graph ``base ⊕ delta`` (base untouched).
+
+        ``validate=False`` skips the O(|graph|) invariant walk — used by
+        the incremental engine path, where the delta comes from the
+        grounder and the compiled patch application re-checks ids anyway.
+        """
         updated = base.copy()
         for key, initial, fixed in self.new_weight_entries:
             updated.weights.intern(key, initial=initial, fixed=fixed)
@@ -119,7 +124,8 @@ class FactorGraphDelta:
             else:
                 updated.set_evidence(var, value)
 
-        updated.validate()
+        if validate:
+            updated.validate()
         return updated
 
     def index_mapping(self, num_base_factors: int) -> dict:

@@ -100,15 +100,23 @@ class DeltaEvaluator:
     def extend_world(self, base_world: np.ndarray, rng) -> np.ndarray:
         """Extend a world over the base variables to the updated graph.
 
-        New free variables are drawn uniformly (this proposal factor is
-        constant and cancels in the MH ratio); clamped new variables take
-        their evidence values.
+        ``base_world`` may already cover some of the new variables (a
+        bundle patched by ``SampleMaterialization.extend_bundle`` stores
+        its uniform extension draws eagerly); only the remaining tail is
+        drawn here.  New free variables are uniform (this proposal factor
+        is constant and cancels in the MH ratio); clamped new variables
+        take their evidence values regardless of how they were drawn —
+        the proposal for them is a point mass either way.
         """
+        have = base_world.shape[0]
+        if have > self.total_vars:
+            raise ValueError(
+                f"stored world has {have} vars, updated graph {self.total_vars}"
+            )
         world = np.empty(self.total_vars, dtype=bool)
-        world[: self.num_base_vars] = base_world
-        if self.delta.num_new_vars:
-            tail = rng.random(self.delta.num_new_vars) < 0.5
-            world[self.num_base_vars :] = tail
-            for offset, val in self.delta.new_var_evidence.items():
-                world[self.num_base_vars + offset] = bool(val)
+        world[:have] = base_world
+        if self.total_vars > have:
+            world[have:] = rng.random(self.total_vars - have) < 0.5
+        for offset, val in self.delta.new_var_evidence.items():
+            world[self.num_base_vars + offset] = bool(val)
         return world

@@ -46,6 +46,10 @@ class UpdateResult:
     delta: FactorGraphDelta
     graph: FactorGraph
     transitions: dict = field(default_factory=dict)
+    #: CompiledPatch when a compiled view is bound to the grounder (the
+    #: end-to-end incremental path: ΔV/ΔF flow straight into the CSR
+    #: substrate without a recompile).
+    patch: object = None
 
     @property
     def summary(self) -> str:
@@ -93,11 +97,27 @@ class IncrementalGrounder:
         for key, record in self.records.items():
             for var in self._record_vars(record):
                 self._records_by_var.setdefault(var, set()).add(key)
+        self._compiled = None
+        self._compact_threshold = 0.25
 
     @classmethod
     def from_scratch(cls, program: Program, db: Database) -> "IncrementalGrounder":
         grounding = Grounder(program, db).ground()
         return cls(program, db, grounding)
+
+    def bind_compiled(self, compiled, compact_threshold: float = 0.25) -> None:
+        """Keep a :class:`CompiledFactorGraph` in sync with this grounder.
+
+        Every subsequent :meth:`apply_update` patches the bound compiled
+        view in place (``apply_delta``) instead of leaving callers to
+        recompile — ΔV/ΔF flow end-to-end from the delta rules into the
+        CSR substrate.  The compiled graph must currently reflect
+        ``self.graph``.  The resulting :class:`CompiledPatch` is returned
+        on ``UpdateResult.patch`` for warm-started samplers."""
+        if compiled.graph is not self.graph and compiled.num_vars != self.graph.num_vars:
+            raise ValueError("compiled view does not match the grounder's graph")
+        self._compiled = compiled
+        self._compact_threshold = compact_threshold
 
     @staticmethod
     def _record_vars(record: FactorRecord):
@@ -327,7 +347,14 @@ class IncrementalGrounder:
         # ---- 8. Apply and re-index.
         updated = delta.apply(self.graph)
         self._reindex(delta, appended, updated)
-        result = UpdateResult(delta=delta, graph=updated, transitions=all_transitions)
+        patch = None
+        if self._compiled is not None:
+            patch = self._compiled.apply_delta(
+                delta, updated, compact_threshold=self._compact_threshold
+            )
+        result = UpdateResult(
+            delta=delta, graph=updated, transitions=all_transitions, patch=patch
+        )
         self.graph = updated
         return result
 

@@ -44,6 +44,7 @@ def sweeps_to_marginal(
     seed=None,
     initial=None,
     n_workers: int = 1,
+    compiled: CompiledFactorGraph | None = None,
 ) -> dict:
     """Sweeps until the ensemble marginal of ``var`` stays within ``tol``.
 
@@ -57,6 +58,11 @@ def sweeps_to_marginal(
     n_workers:
         When > 1, chains advance concurrently in worker processes; 1
         keeps the serial in-process ensemble.
+    compiled:
+        Optional shared (possibly incrementally patched)
+        :class:`CompiledFactorGraph` to reuse instead of compiling
+        ``graph`` from scratch — callers measuring convergence across
+        incremental updates keep one compilation alive.
 
     Returns a dict with ``sweeps`` (or ``max_sweeps`` if never converged),
     ``converged``, and ``variable_updates`` (sweeps × free variables — the
@@ -67,7 +73,8 @@ def sweeps_to_marginal(
         from repro.inference.parallel import ParallelChainEnsemble
 
         with ParallelChainEnsemble(
-            graph, num_chains, n_workers, seed=seed, initial=initial
+            graph, num_chains, n_workers, seed=seed, initial=initial,
+            compiled=compiled,
         ) as ensemble:
             hits = 0
             for sweep in range(1, max_sweeps + 1):
@@ -85,7 +92,8 @@ def sweeps_to_marginal(
     # whole ensemble; each chain keeps only its own sampler state.  All
     # states live in one stacked matrix so the per-sweep ensemble
     # marginal is a column reduction instead of a per-chain Python loop.
-    compiled = CompiledFactorGraph(graph)
+    if compiled is None:
+        compiled = CompiledFactorGraph(graph)
     chains = [
         GibbsSampler(graph, seed=rng, initial=initial, compiled=compiled)
         for _ in range(num_chains)

@@ -16,7 +16,7 @@ import math
 
 import numpy as np
 
-from repro.graph.compiled import CompiledFactorGraph, GibbsCache
+from repro.graph.compiled import CompiledFactorGraph, GibbsCache, bias_init_values
 from repro.graph.factor_graph import FactorGraph
 from repro.util.rng import as_generator
 
@@ -57,7 +57,7 @@ def sweep_blocks(cache, state, blocks, uniforms) -> None:
             new_values = u_block < _sigmoid_vec(deltas)
             changed = new_values != state[block.vars]
             if changed.any():
-                if block.pure_pairwise:
+                if block.pure_pairwise and not block.has_patched:
                     cache.commit_flips_pairwise(
                         block.vars[changed], new_values[changed], state
                     )
@@ -121,6 +121,51 @@ class GibbsSampler:
             self.state[ev_vars] = ev_vals
         self.cache = GibbsCache(self.compiled, self.state)
         self.sweeps_done = 0
+
+    # ------------------------------------------------------------------ #
+
+    def _grow_state(self, patch) -> None:
+        """Append the patch's new variables to the chain state.
+
+        New free variables are drawn from their bias-only conditional
+        (``P(x=1) = σ(2·Σ w_bias)``); clamped new variables take their
+        evidence values."""
+        k = patch.num_new_vars
+        if not k:
+            return
+        old_n = patch.old_num_vars
+        new_vals = bias_init_values(
+            k, old_n, patch.bias_add, self.compiled.graph.weights, self.rng
+        )
+        for var, val in patch.evidence_sets:
+            if var >= old_n:
+                new_vals[var - old_n] = val
+        self.state = np.concatenate([self.state, new_vals])
+
+    def apply_patch(self, patch) -> None:
+        """Warm-start this chain across a compiled-graph patch.
+
+        The assignment of surviving variables is kept (the paper's
+        incremental-inference premise: ``Pr^∆`` is close to ``Pr⁰``, so a
+        stationary state of the old chain is a near-stationary start for
+        the new one); new variables are initialized from their bias and
+        re-clamped evidence flows through the cache."""
+        compiled = self.compiled
+        self._grow_state(patch)
+        self.graph = compiled.graph
+        if patch.compacted:
+            # Full recompaction invalidated blocks and caches: re-derive
+            # them; the warm assignment is all that carries over.
+            for var, val in patch.evidence_sets:
+                self.state[var] = val
+            self.plan = compiled.plan(self.graph)
+            self.cache = GibbsCache(compiled, self.state)
+            return
+        self.cache.apply_patch(patch, self.state)
+        self.plan = compiled.plan(self.graph)
+        for var, val in patch.evidence_sets:
+            if bool(self.state[var]) != val:
+                self.cache.commit_flip(int(var), bool(val), self.state)
 
     # ------------------------------------------------------------------ #
 

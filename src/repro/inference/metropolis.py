@@ -64,10 +64,13 @@ class IndependentMH:
         self.delta = delta
         self.evaluator = DeltaEvaluator(base, delta)
         self.stored = np.asarray(stored_samples, dtype=bool)
-        if self.stored.ndim != 2 or self.stored.shape[1] != base.num_vars:
+        total = self.evaluator.total_vars
+        if self.stored.ndim != 2 or not (
+            base.num_vars <= self.stored.shape[1] <= total
+        ):
             raise ValueError(
-                f"stored samples must be (S, {base.num_vars}); "
-                f"got {self.stored.shape}"
+                f"stored samples must be (S, w) with {base.num_vars} <= w "
+                f"<= {total}; got {self.stored.shape}"
             )
         self.rng = as_generator(seed)
 

@@ -52,12 +52,15 @@ from multiprocessing import shared_memory
 import numpy as np
 
 from repro.graph.compiled import (
+    _GROWABLE_NAMES as _COMPILED_GROWABLE,
     CompiledFactorGraph,
     GibbsCache,
     ShardPlan,
     SweepPlan,
     _Block,
+    bias_init_values,
     partition_plan,
+    repair_shard_plan,
 )
 from repro.graph.semantics import sem_from_code
 from repro.inference.gibbs import GibbsSampler, sweep_blocks
@@ -73,17 +76,22 @@ __all__ = [
 ]
 
 #: Flat arrays of :class:`CompiledFactorGraph` exported into shared memory.
+#: ``free_vars`` is derived (recomputed at attach); the growable arrays in
+#: :data:`_GROWABLE_EXPORT` get capacity slack so patches land in place.
 _EXPORT_ARRAYS = (
     "bias_indptr",
     "bias_wid",
     "bias_var",
+    "bias_alive",
     "ising_indptr",
     "ising_other",
     "ising_wid",
     "ising_row",
+    "ising_alive",
     "rule_head",
     "rule_wid",
     "rule_sem",
+    "rule_alive",
     "grounding_ri",
     "lit_gg",
     "lit_var",
@@ -100,12 +108,26 @@ _EXPORT_ARRAYS = (
     "slow_indptr",
     "slow_idx",
     "evidence_mask",
-    "free_vars",
+    "var_patched",
     "_force_singleton",
     "_needs_scalar",
+    "_big_count",
     "_nbr_indptr",
     "_nbr_idx",
 )
+
+#: Exported arrays that :meth:`CompiledFactorGraph.apply_delta` grows.
+#: Their shared regions are allocated with capacity slack and carry a
+#: logical size in the ``__sizes__`` region, so updates grow them in
+#: place (behind the structure-version cell) without respawning workers.
+_GROWABLE_EXPORT = tuple(
+    name for name in _EXPORT_ARRAYS if name in _COMPILED_GROWABLE
+)
+
+
+def _capacity(size: int) -> int:
+    """Capacity reserved for a growable export region."""
+    return size + max(size // 2, 64)
 
 
 def default_context() -> mp.context.BaseContext:
@@ -138,24 +160,47 @@ class SharedGraphExport:
     """
 
     def __init__(self, compiled: CompiledFactorGraph, extra=None) -> None:
+        if compiled.has_patches:
+            # Worker attachment rebuilds the Python mirrors from the
+            # per-variable CSR snapshot, which is stale on a patched
+            # compilation — compaction restores it (and resets the
+            # tombstones the fresh export would otherwise carry).
+            compiled.compact()
         self.compiled = compiled
         manifest = []
         offset = 0
         for name in _EXPORT_ARRAYS:
             arr = np.ascontiguousarray(getattr(compiled, name))
+            cap = (
+                _capacity(arr.shape[0])
+                if name in _GROWABLE_EXPORT
+                else arr.shape[0]
+            )
             offset = _align(offset)
-            manifest.append((name, offset, arr.shape, arr.dtype.str))
-            offset += arr.nbytes
+            manifest.append((name, offset, (cap,) + arr.shape[1:], arr.dtype.str))
+            offset += int(np.prod((cap,) + arr.shape[1:])) * arr.dtype.itemsize
 
         weights = np.asarray(
             compiled.graph.weights.values_array(), dtype=np.float64
         )
+        w_cap = _capacity(weights.shape[0])
         offset = _align(offset)
-        manifest.append(("__weights__", offset, weights.shape, weights.dtype.str))
-        offset += weights.nbytes
+        manifest.append(("__weights__", offset, (w_cap,), weights.dtype.str))
+        offset += w_cap * weights.dtype.itemsize
+        for cell in ("__weights_version__", "__weights_size__", "__structure_version__"):
+            offset = _align(offset)
+            manifest.append((cell, offset, (1,), np.dtype(np.int64).str))
+            offset += 8
         offset = _align(offset)
-        manifest.append(("__weights_version__", offset, (1,), np.dtype(np.int64).str))
-        offset += 8
+        manifest.append(
+            (
+                "__sizes__",
+                offset,
+                (len(_GROWABLE_EXPORT),),
+                np.dtype(np.int64).str,
+            )
+        )
+        offset += 8 * len(_GROWABLE_EXPORT)
 
         for name, (shape, dtype) in (extra or {}).items():
             dtype = np.dtype(dtype)
@@ -172,25 +217,64 @@ class SharedGraphExport:
         for name in _EXPORT_ARRAYS:
             src = np.ascontiguousarray(getattr(compiled, name))
             if src.size:
-                self._views[name][...] = src
-        self._views["__weights__"][...] = weights
+                self._views[name][: src.shape[0]] = src
+        for gi, name in enumerate(_GROWABLE_EXPORT):
+            self._views["__sizes__"][gi] = getattr(compiled, name).shape[0]
+        self._views["__weights__"][: weights.shape[0]] = weights
         self._views["__weights_version__"][0] = compiled.graph.weights.version
+        self._views["__weights_size__"][0] = weights.shape[0]
+        self._views["__structure_version__"][0] = 0
 
     def array(self, name: str) -> np.ndarray:
-        """Controller-side view of an exported or extra region."""
+        """Controller-side view of an exported or extra region (full
+        capacity for growable regions — slice by the logical size)."""
         return self._views[name]
 
     def push_weights(self, store) -> None:
-        """Publish the store's current values + version to the workers."""
+        """Publish the store's current values + version to the workers.
+
+        The weight region has capacity slack, so stores that grew (a
+        delta interned new feature weights) keep flowing through the
+        existing cells until the capacity is exhausted."""
         values = np.asarray(store.values_array(), dtype=np.float64)
         region = self._views["__weights__"]
-        if values.shape != region.shape:
+        if values.shape[0] > region.shape[0]:
             raise ValueError(
-                f"weight store grew from {region.shape} to {values.shape} "
-                "after export; re-create the pool after interning new weights"
+                f"weight store grew past the exported capacity "
+                f"({values.shape[0]} > {region.shape[0]}); re-export"
             )
-        region[...] = values
+        region[: values.shape[0]] = values
+        self._views["__weights_size__"][0] = values.shape[0]
         self._views["__weights_version__"][0] = store.version
+
+    def fits(self, compiled: CompiledFactorGraph) -> bool:
+        """True when the compiled arrays still fit the exported capacities."""
+        for name in _GROWABLE_EXPORT:
+            if getattr(compiled, name).shape[0] > self._views[name].shape[0]:
+                return False
+        return (
+            len(compiled.graph.weights) <= self._views["__weights__"].shape[0]
+        )
+
+    def apply_patch(self, compiled: CompiledFactorGraph) -> bool:
+        """Grow the export in place to match a freshly patched compiled.
+
+        Re-copies every growable region (tombstone flips land anywhere,
+        and a full memcpy of the flat arrays is cheaper than tracking
+        them), updates the logical sizes, pushes the weights, and bumps
+        the structure version.  Returns False — without touching the
+        segment — when any array outgrew its capacity; the caller must
+        then re-export into a fresh segment."""
+        if not self.fits(compiled):
+            return False
+        for gi, name in enumerate(_GROWABLE_EXPORT):
+            src = getattr(compiled, name)
+            if src.size:
+                self._views[name][: src.shape[0]] = src
+            self._views["__sizes__"][gi] = src.shape[0]
+        self.push_weights(compiled.graph.weights)
+        self._views["__structure_version__"][0] += 1
+        return True
 
     def spec(self) -> dict:
         """Picklable worker-attach description (structure not in shm)."""
@@ -203,7 +287,14 @@ class SharedGraphExport:
             "num_groundings": self.compiled.num_groundings,
             "rule_sem_uniform": self.compiled.rule_sem_uniform,
             "slow_list": pickle.dumps(self.compiled.slow_list),
+            "slow_alive": list(self.compiled.slow_alive),
+            "num_live_rules": self.compiled.num_live_rules,
+            "num_live_slow": self.compiled.num_live_slow,
             "evidence": dict(graph.evidence),
+            "sizes": {
+                name: int(getattr(self.compiled, name).shape[0])
+                for name in _GROWABLE_EXPORT
+            },
         }
 
     def close(self) -> None:
@@ -244,24 +335,29 @@ def _map_views(shm, manifest) -> dict:
 
 
 class _StubWeights:
-    """Worker-side :class:`WeightStore` stand-in over the shm regions."""
+    """Worker-side :class:`WeightStore` stand-in over the shm regions.
 
-    def __init__(self, values: np.ndarray, version_cell: np.ndarray) -> None:
+    ``values`` is the full-capacity region; the logical length lives in
+    the ``__weights_size__`` cell so pushed weight growth (new feature
+    weights interned by a delta) is visible without re-attaching."""
+
+    def __init__(self, values, version_cell, size_cell) -> None:
         self._values = values
         self._version_cell = version_cell
+        self._size_cell = size_cell
 
     @property
     def version(self) -> int:
         return int(self._version_cell[0])
 
     def values_array(self) -> np.ndarray:
-        return self._values
+        return self._values[: len(self)]
 
     def value(self, weight_id: int) -> float:
         return float(self._values[weight_id])
 
     def __len__(self) -> int:
-        return len(self._values)
+        return int(self._size_cell[0])
 
 
 class _StubGraph:
@@ -299,10 +395,26 @@ class _StubGraph:
         x[self._ev_vars] = self._ev_vals
         return x
 
+    def apply_patch(self, num_new_vars: int, evidence_changes: dict) -> None:
+        """Grow and re-clamp the stub across a compiled patch."""
+        self.num_vars += int(num_new_vars)
+        for var, val in evidence_changes.items():
+            if val is None:
+                self.evidence.pop(int(var), None)
+            else:
+                self.evidence[int(var)] = bool(val)
+        count = len(self.evidence)
+        self._ev_vars = np.fromiter(self.evidence.keys(), dtype=np.int64, count=count)
+        self._ev_vals = np.fromiter(self.evidence.values(), dtype=bool, count=count)
+
 
 def _rebuild_python_mirrors(c: CompiledFactorGraph) -> None:
-    """Derive the scalar-kernel Python mirrors from the flat arrays."""
+    """Derive the scalar-kernel Python mirrors from the flat arrays.
+
+    Requires a clean (compacted) CSR snapshot — exports enforce this."""
     n = c.num_vars
+    bi, bw = c.bias_indptr, c.bias_wid
+    c.py_bias = [bw[bi[v] : bi[v + 1]].tolist() for v in range(n)]
     ii, io, iw = c.ising_indptr, c.ising_other, c.ising_wid
     c.py_ising = [
         list(zip(io[ii[v] : ii[v + 1]].tolist(), iw[ii[v] : ii[v + 1]].tolist()))
@@ -344,18 +456,40 @@ def attach_compiled(spec: dict):
     shm = shared_memory.SharedMemory(name=spec["shm_name"])
     views = _map_views(shm, spec["manifest"])
     c = CompiledFactorGraph.__new__(CompiledFactorGraph)
+    sizes = spec["sizes"]
     for name in _EXPORT_ARRAYS:
-        setattr(c, name, views[name])
+        view = views[name]
+        if name in _GROWABLE_EXPORT:
+            view = view[: sizes[name]]
+        setattr(c, name, view)
     c.num_vars = spec["num_vars"]
     c.num_rules = spec["num_rules"]
     c.num_groundings = spec["num_groundings"]
     c.rule_sem_uniform = spec["rule_sem_uniform"]
     c.slow_list = pickle.loads(spec["slow_list"])
+    c.slow_alive = list(spec["slow_alive"])
+    c.num_live_rules = spec["num_live_rules"]
+    c.num_live_slow = spec["num_live_slow"]
     c.slow_factors = {}
     c.rule_factors = {}
     c._plan_cache = {}
+    c.free_vars = np.flatnonzero(~c.evidence_mask)
+    # Incremental state: attached views resize against the capacity
+    # regions; the handle table and per-rule factor list live only on the
+    # controller (ops arrive pre-resolved).
+    c._cap_views = views
+    c._grow = None
+    c._fkind = None
+    c._fh1 = None
+    c._fh2 = None
+    c._ri_factor = None
+    c._patched = bool(c.var_patched.any())
+    c._nbr_patch = {}
+    c._csr_num_vars = c.num_vars
     _rebuild_python_mirrors(c)
-    weights = _StubWeights(views["__weights__"], views["__weights_version__"])
+    weights = _StubWeights(
+        views["__weights__"], views["__weights_version__"], views["__weights_size__"]
+    )
     c.graph = _StubGraph(c.num_vars, spec["evidence"], weights)
     return c, shm, views
 
@@ -405,6 +539,11 @@ class _Worker:
             "cache": GibbsCache(self.compiled, state),
             "rng": rng,
             "plan": plan,
+            "stub": stub,
+            # Chains pinned to a custom evidence configuration (e.g. the
+            # free chain of SGD learning) do not follow the graph's
+            # evidence updates; default chains do.
+            "custom_evidence": evidence is not None,
         }
 
     def _sweep_chain(self, chain) -> None:
@@ -493,6 +632,86 @@ class _Worker:
         sweep_blocks(cache, state, shard["blocks"], uniforms)
         own = shard["own"]
         cur[own] = state[own]
+        return None
+
+    # ---- incremental graph updates ----------------------------------- #
+
+    def _patch_chain_state(self, chain, patch) -> None:
+        """Grow + re-clamp one persistent chain's state for a patch."""
+        k = patch.num_new_vars
+        old_n = patch.old_num_vars
+        if k:
+            new_vals = bias_init_values(
+                k, old_n, patch.bias_add, self.compiled.graph.weights, chain["rng"]
+            )
+            for var, val in patch.evidence_sets:
+                if var >= old_n:
+                    new_vals[var - old_n] = val
+            chain["state"] = np.concatenate([chain["state"], new_vals])
+
+    def graph_patch(self, ops):
+        """Replay a compiled patch on the attached views + local chains.
+
+        The controller has already grown the shared regions in place (the
+        segment survives, no respawn); this worker re-slices its views,
+        replays the mirror ops, and warm-patches its persistent chains.
+        A sharded worker drops its shard state — the controller re-sends
+        ``shard_init`` with the repaired shard plan right after."""
+        patch = self.compiled.apply_patch_ops(ops, updated_graph=None)
+        self.default_evidence = dict(self.compiled.graph.evidence)
+        self.shard = None
+        for chain in self.chains.values():
+            custom = chain["custom_evidence"]
+            self._patch_chain_state(chain, patch)
+            chain["cache"].apply_patch(patch, chain["state"])
+            chain["stub"].apply_patch(
+                patch.num_new_vars, {} if custom else ops["evidence"]
+            )
+            chain["plan"] = self.compiled.plan(chain["stub"])
+            if not custom:
+                for var, val in patch.evidence_sets:
+                    if bool(chain["state"][var]) != val:
+                        chain["cache"].commit_flip(
+                            int(var), bool(val), chain["state"]
+                        )
+        return None
+
+    def graph_reattach(self, spec, ops=None):
+        """Re-attach to a fresh export segment (capacity overflow or
+        compaction path).  Persistent chain states survive; their plans
+        and caches are rebuilt against the re-exported compilation."""
+        old_shm = self.shm
+        old_chains = self.chains
+        self.compiled, self.shm, self.views = attach_compiled(spec)
+        _cleanup_shm(old_shm, unlink=False)
+        self.default_evidence = spec["evidence"]
+        self.shard = None
+        self.chains = {}
+        for cid, chain in old_chains.items():
+            state = np.asarray(chain["state"], dtype=bool)
+            if ops is not None and ops["num_new_vars"]:
+                new_vals = bias_init_values(
+                    ops["num_new_vars"],
+                    state.shape[0],
+                    ops["bias_add"],
+                    self.compiled.graph.weights,
+                    chain["rng"],
+                )
+                state = np.concatenate([state, new_vals])
+            custom = chain["custom_evidence"]
+            stub = self._stub_for(
+                dict(chain["stub"].evidence) if custom else None
+            )
+            ev_vars, ev_vals = stub.evidence_arrays()
+            state[ev_vars] = ev_vals
+            self.chains[cid] = {
+                "state": state,
+                "cache": GibbsCache(self.compiled, state),
+                "rng": chain["rng"],
+                "plan": self.compiled.plan(stub),
+                "stub": stub,
+                "custom_evidence": custom,
+            }
         return None
 
 
@@ -589,6 +808,34 @@ class GibbsWorkerPool:
     def push_weights(self, store) -> None:
         self.export.push_weights(store)
 
+    def pids(self) -> list:
+        """Worker process ids (stable across graph patches — the whole
+        point of the incremental path is that these never respawn)."""
+        return [proc.pid for proc in self._procs]
+
+    def reexport(self, compiled: CompiledFactorGraph, extra=None, ops=None) -> None:
+        """Move the pool onto a fresh export segment without respawning.
+
+        Used when a patch outgrew the old segment's capacity slack (or a
+        compaction invalidated the CSR snapshot): workers detach, attach
+        the new segment, and keep their persistent chain states."""
+        new_export = SharedGraphExport(compiled, extra=extra)
+        spec = new_export.spec()
+        self.broadcast(
+            "graph_reattach",
+            [{"spec": spec, "ops": ops} for _ in range(self.n_workers)],
+        )
+        old = self.export
+        self.export = new_export
+        old.close()
+
+    def graph_patch(self, compiled: CompiledFactorGraph, patch) -> None:
+        """Ship one compiled patch to every worker (export already grown
+        in place by the caller via ``export.apply_patch``)."""
+        self.broadcast(
+            "graph_patch", [{"ops": patch.ops} for _ in range(self.n_workers)]
+        )
+
     def close(self) -> None:
         if hasattr(self, "_finalizer"):
             self._finalizer()
@@ -676,13 +923,17 @@ class ShardedGibbsSampler:
             return
         self._serial = None
         self.compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
+        if self.compiled.has_patches:
+            # The export would compact anyway (worker attach needs a clean
+            # CSR snapshot); compacting *before* deriving the plan and
+            # shard partition keeps them aligned with what workers see.
+            self.compiled.compact()
         self.plan = self.compiled.plan(graph)
         self.shard_plan = partition_plan(
             self.compiled, self.plan, n_workers, block_costs=block_costs
         )
 
         rng = as_generator(seed)
-        worker_rngs = spawn(rng, n_workers)
         self.rng = rng
         if initial is None:
             self._state = graph.initial_assignment(rng)
@@ -692,16 +943,23 @@ class ShardedGibbsSampler:
             self._state[ev_vars] = ev_vals
 
         n = graph.num_vars
+        cap_n = _capacity(n)
         self.pool = GibbsWorkerPool(
             self.compiled,
             n_workers,
-            extra={"state0": ((n,), bool), "state1": ((n,), bool)},
+            extra={"state0": ((cap_n,), bool), "state1": ((cap_n,), bool)},
             ctx=ctx,
         )
         self._pushed_version = graph.weights.version
-        self.pool.export.array("state0")[...] = self._state
-        self.pool.export.array("state1")[...] = self._state
+        self.pool.export.array("state0")[:n] = self._state
+        self.pool.export.array("state1")[:n] = self._state
 
+        self._init_shards()
+
+    def _init_shards(self) -> None:
+        """(Re)send every worker its shard of the current shard plan."""
+        n_workers = self.n_workers
+        worker_rngs = spawn(self.rng, n_workers)
         sp = self.shard_plan
         blocks = self.plan.blocks
         boundary_set = set(sp.boundary.tolist())
@@ -770,16 +1028,19 @@ class ShardedGibbsSampler:
         on_boundary[self.shard_plan.boundary_vars] = True
         adjacent = np.zeros(n, dtype=bool)
         if c.ising_row.size:
-            hit = on_boundary[c.ising_row]
+            hit = on_boundary[c.ising_row] & c.ising_alive
             adjacent[c.ising_other[hit]] = True
         if c.num_rules:
-            rule_hit = on_boundary[c.rule_head].copy()
+            rule_hit = on_boundary[c.rule_head] & c.rule_alive
             if c.lit_var.size:
                 ri_of_lit = c.grounding_ri[c.lit_gg]
-                rule_hit[ri_of_lit[on_boundary[c.lit_var]]] = True
-                adjacent[c.lit_var[rule_hit[ri_of_lit]]] = True
+                lit_alive = c.rule_alive[ri_of_lit]
+                rule_hit[ri_of_lit[on_boundary[c.lit_var] & lit_alive]] = True
+                adjacent[c.lit_var[rule_hit[ri_of_lit] & lit_alive]] = True
             adjacent[c.rule_head[rule_hit]] = True
-        for factor in c.slow_list:
+        for si, factor in enumerate(c.slow_list):
+            if not c.slow_alive[si]:
+                continue
             members = list(factor.variables())
             if on_boundary[members].any():
                 adjacent[members] = True
@@ -790,6 +1051,66 @@ class ShardedGibbsSampler:
         if self._serial is not None:
             return self._serial.state
         return self._state
+
+    def apply_patch(self, patch) -> None:
+        """Warm-start the sharded chain across a compiled-graph patch.
+
+        The worker pool and its shared segment survive the update: the
+        export grows in place behind the structure-version cell (or, when
+        a patch outgrew the capacity slack / triggered a compaction, the
+        pool re-attaches to a fresh segment — still without respawning a
+        single process).  The shard plan is repaired incrementally: only
+        new/rebuilt blocks go through the LDG greedy; surviving blocks
+        keep their shard."""
+        if self._serial is not None:
+            self._serial.apply_patch(patch)
+            self.compiled = self._serial.compiled
+            self.plan = self._serial.plan
+            self.sweeps_done = self._serial.sweeps_done
+            return
+        compiled = self.compiled
+        self.graph = compiled.graph
+
+        # ---- grow + re-clamp the controller state ------------------------
+        k = patch.num_new_vars
+        if k:
+            new_vals = bias_init_values(
+                k, patch.old_num_vars, patch.bias_add,
+                compiled.graph.weights, self.rng,
+            )
+            self._state = np.concatenate([self._state, new_vals])
+        for var, val in patch.evidence_sets:
+            self._state[var] = val
+
+        # ---- move the pool to the patched structure ----------------------
+        n = compiled.num_vars
+        cap_n = _capacity(n)
+        extra = {"state0": ((cap_n,), bool), "state1": ((cap_n,), bool)}
+        in_place = (
+            not patch.compacted
+            and n <= self.pool.export.array("state0").shape[0]
+            and self.pool.export.apply_patch(compiled)
+        )
+        if in_place:
+            self.pool.graph_patch(compiled, patch)
+        else:
+            if compiled.has_patches:
+                compiled.compact()
+                patch.compacted = True
+            self.pool.reexport(compiled, extra=extra, ops=patch.ops)
+        self._pushed_version = compiled.graph.weights.version
+
+        # ---- repair plan + shards ---------------------------------------
+        self.plan = compiled.plan(self.graph)
+        if patch.compacted or self.shard_plan is None:
+            self.shard_plan = partition_plan(compiled, self.plan, self.n_workers)
+        else:
+            self.shard_plan = repair_shard_plan(
+                compiled, self.plan, self.shard_plan, self.n_workers
+            )
+        self.pool.export.array("state0")[:n] = self._state
+        self.pool.export.array("state1")[:n] = self._state
+        self._init_shards()
 
     def sweep(self) -> None:
         """One full sweep (parallel interior phase + boundary sync)."""
@@ -898,6 +1219,10 @@ class ParallelChainEnsemble:
         self.graph = graph
         self.num_chains = num_chains
         self.compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
+        if self.compiled.has_patches:
+            # Compact eagerly (the export would do it implicitly) so the
+            # caller's compiled is never mutated mid-derivation.
+            self.compiled.compact()
         self.pool = GibbsWorkerPool(self.compiled, n_workers, ctx=ctx)
         rng = as_generator(seed)
         chain_rngs = spawn(rng, num_chains)

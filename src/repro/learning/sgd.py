@@ -70,6 +70,7 @@ class SGDLearner:
         warmstart: bool = True,
         seed=None,
         n_workers: int = 1,
+        compiled: CompiledFactorGraph | None = None,
     ) -> None:
         self.graph = graph
         self.step_size = step_size
@@ -89,8 +90,11 @@ class SGDLearner:
         # Both chains share one flat-array compilation (identical factor
         # structure; each sampler derives its own scan plan from its
         # graph's evidence).  Weight updates land via the per-sweep
-        # weights-vector refresh, so no recompilation is ever needed.
-        self._compiled = CompiledFactorGraph(graph)
+        # weights-vector refresh, so no recompilation is ever needed.  An
+        # externally supplied (possibly incrementally patched) compilation
+        # is reused as-is — re-learning after a delta shares the engine's
+        # patched substrate instead of recompiling.
+        self._compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
         self._pool = None
         if n_workers >= 2:
             from repro.inference.parallel import GibbsWorkerPool

@@ -67,7 +67,8 @@ class TestRelation:
         rel.insert((1, 9, 3))
         rel.insert((2, 2, 3))
         assert sorted(rel.lookup((0, 2), (1, 3))) == [(1, 2, 3), (1, 9, 3)]
-        assert rel.lookup((0, 2), (9, 9)) == []
+        # Misses and hits return the same type (tuple), like rows().
+        assert rel.lookup((0, 2), (9, 9)) == ()
 
     def test_apply_delta_transitions(self):
         rel = Relation("R", ("a",))
