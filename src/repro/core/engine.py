@@ -76,6 +76,14 @@ class EngineConfig:
     #: Tombstone/patched density above which the compiled factor graph
     #: recompacts (full recompile, amortized across updates).
     compact_threshold: float = 0.25
+    #: Persistent incremental learning: keep one :class:`SGDLearner`
+    #: whose chains, compiled gradient substrate and weight store are
+    #: patched across ``apply_update`` calls, so ``relearn()`` warm-starts
+    #: (App. B.3's SGD+Warmstart).  False is the lesion reproducing the
+    #: SGD-cold baseline of Fig. 16: every ``relearn()`` constructs a
+    #: fresh learner with zeroed weights and fresh chains (still over the
+    #: engine's patched compilation).
+    warm_learning: bool = True
     #: Lesion knobs — remove a strategy to reproduce Fig. 11.
     strategies: tuple = (SAMPLING, VARIATIONAL)
     #: False reproduces the NoWorkloadInfo baseline: sampling until the
@@ -97,6 +105,42 @@ class InferenceOutcome:
     details: dict = field(default_factory=dict)
 
 
+def _relearn(engine, compiled, num_epochs: int, record_loss: bool, learner_kwargs):
+    """Shared persistent-relearn step of both engines.
+
+    Reuses the engine's patched learner when it is warm and current
+    (``learns_warm``); otherwise constructs a fresh one over ``compiled``
+    (``learns_cold``) — with zeroed weights under the
+    ``warm_learning=False`` lesion.  ``learner_kwargs`` only apply at
+    construction time."""
+    from repro.learning.sgd import SGDLearner
+
+    cfg = engine.config
+    if cfg.warm_learning and engine._learner is not None and not engine._learner_stale:
+        engine.learns_warm += 1
+    else:
+        if engine._learner is not None:
+            engine._learner.close()
+        was_patched = compiled is not None and compiled.has_patches
+        engine._learner = SGDLearner(
+            engine.current_graph,
+            warmstart=cfg.warm_learning,
+            seed=engine.rng,
+            compiled=compiled,
+            **learner_kwargs,
+        )
+        if was_patched and not compiled.has_patches:
+            # A pool-backed learner's shared export compacted the
+            # compilation: any other holder (RerunEngine's persistent
+            # sampler) must re-derive its plan/cache.
+            resync = getattr(engine, "_resync_sampler", None)
+            if resync is not None:
+                resync()
+        engine._learner_stale = False
+        engine.learns_cold += 1
+    return engine._learner.fit(num_epochs, record_loss=record_loss)
+
+
 class IncrementalEngine:
     """Materialize once, evaluate many updates incrementally."""
 
@@ -115,6 +159,15 @@ class IncrementalEngine:
             self.base_graph, lam=self.config.variational_lam, seed=self.rng
         )
         self.materialized = False
+        self._last_marginals = None
+        # Persistent-learning state: a compiled view of the *current*
+        # graph, patched with every delta once learning starts, plus the
+        # learner whose chains warm-start across those patches.
+        self._learn_compiled = None
+        self._learner = None
+        self._learner_stale = False
+        self.learns_warm = 0
+        self.learns_cold = 0
 
     # ------------------------------------------------------------------ #
 
@@ -182,6 +235,7 @@ class IncrementalEngine:
             outcome = self._run_strategy(decision)
             outcome.seconds = time.perf_counter() - started
             outcome.details["short_circuit"] = "empty delta"
+            self._last_marginals = outcome.marginals
             return outcome
 
         # Keep the variational graph in sync (cheap splice) regardless of
@@ -196,6 +250,19 @@ class IncrementalEngine:
                 self.base_graph, self.cumulative_delta, delta
             )
         self.current_graph = delta.apply(self.current_graph)
+
+        # Keep the learning substrate in step: the compiled view of the
+        # current graph absorbs the delta (O(|Δ|) patch) and, when a
+        # persistent learner exists, its chains warm-start across it.
+        if self._learn_compiled is not None:
+            learn_patch = self._learn_compiled.apply_delta(
+                delta, self.current_graph, compact_threshold=cfg.compact_threshold
+            )
+            if self._learner is not None:
+                if cfg.warm_learning:
+                    self._learner.apply_patch(learn_patch)
+                else:
+                    self._learner_stale = True
 
         # Patch the tuple bundle in place for small variable appends so
         # the sampling strategy proposes full-width worlds without
@@ -216,7 +283,60 @@ class IncrementalEngine:
         decision = self._decide(delta)
         outcome = self._run_strategy(decision)
         outcome.seconds = time.perf_counter() - started
+        self._last_marginals = outcome.marginals
         return outcome
+
+    # ------------------------------------------------------------------ #
+
+    def relearn(self, num_epochs: int, record_loss: bool = True, **learner_kwargs):
+        """Re-learn the weights of the *current* graph, persistently.
+
+        The first call compiles the current graph once; every subsequent
+        ``apply_update`` patches that compilation in place, and with
+        ``EngineConfig.warm_learning`` (default) the learner's persistent
+        chains and weight store ride along — so each relearn is the
+        paper's SGD+Warmstart step (App. B.3) with O(|Δ|) setup.  Weights
+        are updated in place on ``current_graph.weights``.  Returns the
+        :class:`~repro.learning.sgd.LearningHistory` of this run.
+        """
+        if self._learn_compiled is None:
+            from repro.graph.compiled import CompiledFactorGraph
+
+            if self.current_graph is self.base_graph:
+                # Learning mutates weights in place; detach from the
+                # materialized snapshot so Pr⁰ stays frozen.
+                self.current_graph = self.base_graph.copy()
+            self._learn_compiled = CompiledFactorGraph(self.current_graph)
+        return _relearn(
+            self, self._learn_compiled, num_epochs, record_loss, learner_kwargs
+        )
+
+    def close(self) -> None:
+        """Release the persistent learner (worker pools, if any)."""
+        if self._learner is not None:
+            self._learner.close()
+            self._learner = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def _exhausted_marginals(self, fallback: np.ndarray) -> np.ndarray:
+        """Best available marginals when no inference step can run.
+
+        Prefers the previous update's answer (the chain of truth under
+        the sampling-only lesion) over ``fallback`` — the exhausted
+        result's base-marginal padding built by
+        :meth:`SampleMaterialization.infer`.  Evidence re-clamping
+        happens in :meth:`_clamp`."""
+        n = self.current_graph.num_vars
+        out = np.asarray(fallback, dtype=float).copy()
+        if self._last_marginals is not None:
+            last = self._last_marginals
+            out[: min(last.shape[0], n)] = last[:n]
+        return out
 
     def _run_strategy(self, decision: OptimizerDecision) -> InferenceOutcome:
         cfg = self.config
@@ -224,6 +344,24 @@ class IncrementalEngine:
             result = self.sampling.infer(
                 self.cumulative_delta, num_steps=cfg.inference_steps
             )
+            if (
+                result.exhausted
+                and result.proposals_used == 0
+                and VARIATIONAL not in cfg.strategies
+            ):
+                # Sampling-only lesion with a dry bundle: zero MH steps
+                # executed, so ``result.marginals`` carries no evidence
+                # about the updated distribution — ship the last known
+                # marginals (flagged exhausted) instead of an artifact.
+                return InferenceOutcome(
+                    marginals=self._clamp(self._exhausted_marginals(result.marginals)),
+                    strategy=SAMPLING,
+                    seconds=0.0,
+                    decision=decision,
+                    acceptance_rate=result.acceptance_rate,
+                    samples_used=0,
+                    details={"exhausted": True},
+                )
             if result.exhausted and VARIATIONAL in cfg.strategies:
                 marginals = self.variational.infer(
                     num_samples=cfg.variational_inference_samples,
@@ -285,6 +423,10 @@ class RerunEngine:
         self._last_marginals = None
         self.updates_patched = 0
         self.updates_recompiled = 0
+        self._learner = None
+        self._learner_stale = False
+        self.learns_warm = 0
+        self.learns_cold = 0
 
     def _fresh_sampler(self):
         from repro.graph.compiled import CompiledFactorGraph
@@ -314,7 +456,7 @@ class RerunEngine:
                 seconds=time.perf_counter() - started,
                 details={"short_circuit": "empty delta"},
             )
-        incremental = cfg.reuse_compilation and self._sampler is not None
+        incremental = cfg.reuse_compilation and self._compiled is not None
         self.current_graph = delta.apply(
             self.current_graph, validate=not incremental
         )
@@ -322,7 +464,17 @@ class RerunEngine:
             patch = self._compiled.apply_delta(
                 delta, self.current_graph, compact_threshold=cfg.compact_threshold
             )
-            if cfg.warm_start:
+            if self._sampler is None:
+                # Compilation primed by an early relearn(): patch it and
+                # start the persistent sampler on the patched substrate.
+                self._sampler = make_sampler(
+                    self.current_graph,
+                    seed=self.rng,
+                    compiled=self._compiled,
+                    n_workers=cfg.n_workers,
+                    incremental=True,
+                )
+            elif cfg.warm_start:
                 self._sampler.apply_patch(patch)
             else:
                 # Fresh chains over the *patched* compilation (no
@@ -342,9 +494,31 @@ class RerunEngine:
                 else cfg.burn_in
             )
             self.updates_patched += 1
+            # Sampler setup may have compacted the substrate underneath
+            # the patch (sharded samplers need a clean CSR snapshot);
+            # later patch consumers must then rebuild, not splice.
+            if patch.structural and not self._compiled.has_patches:
+                patch.compacted = True
+            # The persistent learner rides the same patch (warm), or is
+            # marked for a cold rebuild under the warm_learning lesion.
+            if self._learner is not None:
+                if cfg.warm_learning:
+                    was_compacted = patch.compacted
+                    self._learner.apply_patch(patch)
+                    if patch.compacted and not was_compacted:
+                        # The learner's pool escalated to a compaction
+                        # after the sampler had already spliced the
+                        # patch: re-derive the sampler's state too.
+                        self._resync_sampler()
+                else:
+                    self._learner_stale = True
         else:
             self._fresh_sampler()
             burn = cfg.burn_in
+            if self._learner is not None:
+                # The compilation was thrown away: the learner cannot be
+                # patched onto it and is rebuilt at the next relearn.
+                self._learner_stale = True
         marginals = self._sampler.estimate_marginals(
             cfg.inference_samples, burn_in=burn
         )
@@ -363,11 +537,66 @@ class RerunEngine:
             seconds=time.perf_counter() - started,
         )
 
+    def _resync_sampler(self) -> None:
+        """Re-derive the persistent sampler after an external compaction.
+
+        A pool-backed learner compacts the shared compilation when it
+        exports it (or when a patch outgrows its segment); the sampler's
+        cache/plan then index a layout that no longer exists.  The warm
+        chain assignment is preserved — only derived state is rebuilt."""
+        sampler = self._sampler
+        if sampler is None:
+            return
+        from repro.graph.compiled import GibbsCache
+        from repro.inference.gibbs import GibbsSampler
+
+        if isinstance(sampler, GibbsSampler):
+            sampler.plan = self._compiled.plan(sampler.graph)
+            sampler.cache = GibbsCache(self._compiled, sampler.state)
+            return
+        # Sharded sampler: its worker pool is attached to a stale export;
+        # rebuild it on the compacted compilation from the warm state.
+        from repro.inference.parallel import ShardedGibbsSampler
+
+        state = np.array(sampler.state, copy=True)
+        if hasattr(sampler, "close"):
+            sampler.close()
+        self._sampler = ShardedGibbsSampler(
+            self.current_graph,
+            n_workers=self.config.n_workers,
+            seed=self.rng,
+            initial=state,
+            compiled=self._compiled,
+        )
+
+    def relearn(self, num_epochs: int, record_loss: bool = True, **learner_kwargs):
+        """Re-learn the weights of the current graph, persistently.
+
+        Shares the engine's (patched) compilation with the learner when
+        ``reuse_compilation`` is on, so after each ``apply_update`` the
+        warm learner resumes with O(|Δ|) setup; under
+        ``warm_learning=False`` (or ``reuse_compilation=False``) each
+        call pays the cold restart the Fig. 16 baselines measure.
+        Weight updates land in place and are picked up by the persistent
+        sampler's version-gated weight refresh."""
+        cfg = self.config
+        compiled = None
+        if cfg.reuse_compilation:
+            if self._compiled is None:
+                from repro.graph.compiled import CompiledFactorGraph
+
+                self._compiled = CompiledFactorGraph(self.current_graph)
+            compiled = self._compiled
+        return _relearn(self, compiled, num_epochs, record_loss, learner_kwargs)
+
     def close(self) -> None:
         """Release the persistent sampler (worker pool, shared memory)."""
         if self._sampler is not None and hasattr(self._sampler, "close"):
             self._sampler.close()
         self._sampler = None
+        if self._learner is not None:
+            self._learner.close()
+            self._learner = None
 
     def __enter__(self):
         return self

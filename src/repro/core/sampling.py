@@ -132,9 +132,13 @@ class SampleMaterialization:
             )
         self.materialization_seconds = time.perf_counter() - start
         if collected:
+            # The cursor is only reset together with a *replaced* bundle:
+            # an empty harvest (e.g. a zero time budget) keeps the old
+            # bundle and its consumption point, so already-proposed
+            # samples are never silently revived.
             self._packed = packed
             self.base_marginals = self.samples.mean(axis=0)
-        self._cursor = 0
+            self._cursor = 0
         return self.samples_total
 
     def _materialize_serial(self, num_samples, time_budget, thin, burn_in, start):
@@ -247,6 +251,24 @@ class SampleMaterialization:
         available = self._unpack(
             self._packed[self._cursor : self._cursor + num_steps]
         )
+        if available.shape[0] == 0:
+            # Exhausted bundle: no MH step can execute.  Report the
+            # materialized base marginals (0.5 for variables appended
+            # since) as an explicitly-exhausted result instead of letting
+            # MH run zero steps — the engine ships its own last-known
+            # marginals or falls back to the variational strategy.
+            total = self.graph.num_vars + delta.num_new_vars
+            marginals = np.full(total, 0.5)
+            base = self.base_marginals
+            marginals[: min(base.shape[0], total)] = base[:total]
+            return MHResult(
+                marginals=marginals,
+                acceptance_rate=0.0,
+                proposals_used=0,
+                accepted=0,
+                exhausted=True,
+                chain=None,
+            )
         mh = IndependentMH(self.graph, delta, available, seed=self.rng)
         result = mh.run(num_steps, keep_chain=keep_chain)
         self._cursor += result.proposals_used

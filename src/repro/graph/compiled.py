@@ -85,6 +85,8 @@ import numpy as np
 
 from repro.graph.factor_graph import BiasFactor, FactorGraph, IsingFactor, RuleFactor
 from repro.graph.semantics import (
+    SEM_LOGICAL,
+    SEM_RATIO,
     g_code_array,
     g_coded,
     g_value,
@@ -479,6 +481,12 @@ class CompiledFactorGraph:
             self._grow[name] = ga
             setattr(self, name, ga.view)
 
+        # Per-weight live-factor counts (the gradient normalizer): built
+        # once here, then adjusted in O(1) per factor add/remove by
+        # apply_patch_ops.  Worker-attached instances leave this None
+        # (they never estimate gradients).
+        self.weight_factor_counts = self._compute_weight_counts()
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -526,6 +534,149 @@ class CompiledFactorGraph:
         for var in np.flatnonzero(self.var_patched).tolist():
             out[var] = self.degree(var)
         return out
+
+    # ------------------------------------------------------------------ #
+    # Compiled gradient aggregation (learning hot path)
+    # ------------------------------------------------------------------ #
+
+    def _compute_weight_counts(self) -> np.ndarray:
+        """Live-factor count per weight id, from the flat arrays."""
+        W = len(self.graph.weights)
+        counts = np.zeros(W, dtype=np.int64)
+        if self.bias_wid.size:
+            counts += np.bincount(
+                self.bias_wid, weights=self.bias_alive.astype(np.float64), minlength=W
+            ).astype(np.int64)[:W]
+        if self.ising_wid.size:
+            # Each Ising factor owns two incidence rows.
+            twice = np.bincount(
+                self.ising_wid, weights=self.ising_alive.astype(np.float64), minlength=W
+            ).astype(np.int64)[:W]
+            counts += twice // 2
+        if self.num_rules:
+            counts += np.bincount(
+                self.rule_wid, weights=self.rule_alive.astype(np.float64), minlength=W
+            ).astype(np.int64)[:W]
+        for si, factor in enumerate(self.slow_list):
+            if self.slow_alive[si]:
+                counts[factor.weight_id] += 1
+        return counts
+
+    def _count_adjust(self, wid: int, delta: int) -> None:
+        counts = self.weight_factor_counts
+        if counts is None:
+            return
+        if wid >= counts.shape[0]:
+            grown = np.zeros(
+                max(wid + 1, len(self.graph.weights)), dtype=np.int64
+            )
+            grown[: counts.shape[0]] = counts
+            self.weight_factor_counts = counts = grown
+        counts[wid] += delta
+
+    def factor_counts_per_weight(self) -> np.ndarray:
+        """Live factors tied to each weight (length ``len(graph.weights)``).
+
+        The per-weight gradient normalizer; maintained incrementally by
+        :meth:`apply_patch_ops` so re-learning after a delta never walks
+        the factor list."""
+        W = len(self.graph.weights)
+        counts = self.weight_factor_counts
+        if counts is None:
+            # Attached (worker-side) views never maintain the counts
+            # incrementally, so don't cache a snapshot that would go stale.
+            counts = self._compute_weight_counts()
+            if self._cap_views is None:
+                self.weight_factor_counts = counts
+        if counts.shape[0] < W:
+            grown = np.zeros(W, dtype=np.int64)
+            grown[: counts.shape[0]] = counts
+            self.weight_factor_counts = counts = grown
+        return counts[:W].astype(np.float64)
+
+    def weight_statistics(self, worlds) -> np.ndarray:
+        """Mean unit-energy vector ``E[U_k]`` over ``worlds``, vectorised.
+
+        The compiled equivalent of
+        :func:`repro.learning.gradient.weight_statistics`: for each weight
+        ``k`` the average over worlds of the summed unit energies
+        (``σ_v``, ``σ_i·σ_j``, ``sign(head)·g(nsat)``) of the live factors
+        tied to ``k``.  Batched over the whole ``(S, n)`` world matrix via
+        the flat incidence arrays — no per-factor Python work outside the
+        (rare) slow path.  Stays correct across :meth:`apply_delta`
+        patches: appends land in the global arrays and retractions are
+        masked by the ``*_alive`` tombstones.
+        """
+        worlds = np.asarray(worlds, dtype=bool)
+        if worlds.ndim == 1:
+            worlds = worlds[None, :]
+        S, n = worlds.shape
+        if n != self.num_vars:
+            raise ValueError(
+                f"worlds have {n} variables, compiled for {self.num_vars}"
+            )
+        W = len(self.graph.weights)
+        totals = np.zeros(W, dtype=np.float64)
+        spins = np.where(worlds, 1.0, -1.0)
+
+        if self.bias_wid.size:
+            contrib = (spins[:, self.bias_var] * self.bias_alive).sum(axis=0)
+            totals += np.bincount(self.bias_wid, weights=contrib, minlength=W)[:W]
+        if self.ising_wid.size:
+            # Each edge appears twice (once per endpoint): halve the sum.
+            contrib = (
+                spins[:, self.ising_row]
+                * spins[:, self.ising_other]
+                * self.ising_alive
+            ).sum(axis=0)
+            totals += 0.5 * np.bincount(
+                self.ising_wid, weights=contrib, minlength=W
+            )[:W]
+        if self.num_rules:
+            R, G = self.num_rules, self.num_groundings
+            if G:
+                if self.lit_gg.size:
+                    mismatch = worlds[:, self.lit_var] != self.lit_pos
+                    flat_g = (
+                        self.lit_gg[None, :] + G * np.arange(S)[:, None]
+                    ).ravel()
+                    unsat = np.bincount(
+                        flat_g,
+                        weights=mismatch.astype(np.float64).ravel(),
+                        minlength=S * G,
+                    ).reshape(S, G)
+                else:
+                    unsat = np.zeros((S, G), dtype=np.float64)
+                flat_r = (
+                    self.grounding_ri[None, :] + R * np.arange(S)[:, None]
+                ).ravel()
+                nsat = np.bincount(
+                    flat_r,
+                    weights=(unsat == 0).astype(np.float64).ravel(),
+                    minlength=S * R,
+                ).reshape(S, R)
+            else:
+                nsat = np.zeros((S, R), dtype=np.float64)
+            if self.rule_sem_uniform is not None:
+                g = g_code_array(self.rule_sem_uniform, nsat)
+            else:
+                g = nsat.astype(np.float64).copy()
+                ratio = self.rule_sem == SEM_RATIO
+                if ratio.any():
+                    g[:, ratio] = np.log1p(nsat[:, ratio])
+                logical = self.rule_sem == SEM_LOGICAL
+                if logical.any():
+                    g[:, logical] = (nsat[:, logical] > 0).astype(np.float64)
+            unit = (spins[:, self.rule_head] * g * self.rule_alive).sum(axis=0)
+            totals += np.bincount(self.rule_wid, weights=unit, minlength=W)[:W]
+        if self.num_live_slow:
+            for si, factor in enumerate(self.slow_list):
+                if not self.slow_alive[si]:
+                    continue
+                totals[factor.weight_id] += sum(
+                    factor.unit_energy(worlds[s]) for s in range(S)
+                )
+        return totals / S
 
     def plan(self, graph: FactorGraph | None = None) -> "SweepPlan":
         """The (cached) block-structured scan plan for ``graph``'s evidence.
@@ -765,6 +916,7 @@ class CompiledFactorGraph:
             var, wid = int(self.bias_var[kb]), int(self.bias_wid[kb])
             self.bias_alive[kb] = False
             self.py_bias[var].remove(wid)
+            self._count_adjust(wid, -1)
             patch.bias_del.append(int(kb))
             touch(var)
         for k1, k2 in ops["ising_del"]:
@@ -774,6 +926,7 @@ class CompiledFactorGraph:
             self.ising_alive[k2] = False
             self.py_ising[i].remove((j, wid))
             self.py_ising[j].remove((i, wid))
+            self._count_adjust(wid, -1)
             self._nbr_adjust(i, j, -1)
             self._nbr_adjust(j, i, -1)
             patch.ising_del.append((int(k1), int(k2)))
@@ -782,6 +935,7 @@ class CompiledFactorGraph:
         for ri, head, body_vars in ops["rule_del"]:
             self.rule_alive[ri] = False
             self.num_live_rules -= 1
+            self._count_adjust(int(self.rule_wid[ri]), -1)
             self.py_head[head].remove(ri)
             members = set(body_vars) | {head}
             for var in body_vars:
@@ -806,6 +960,7 @@ class CompiledFactorGraph:
             factor = self.slow_list[si]
             self.slow_alive[si] = False
             self.num_live_slow -= 1
+            self._count_adjust(factor.weight_id, -1)
             for var in factor.variables():
                 self.py_slow[var].remove(si)
                 self._needs_scalar[var] = bool(self.py_slow[var])
@@ -818,6 +973,7 @@ class CompiledFactorGraph:
             self._append("bias_wid", [wid])
             self._append("bias_alive", [True])
             self.py_bias[var].append(wid)
+            self._count_adjust(wid, 1)
             patch.bias_add.append((int(var), int(wid)))
             if track_handles:
                 handles_by_kind[0].append((0, kb, -1))
@@ -830,6 +986,7 @@ class CompiledFactorGraph:
             self._append("ising_alive", [True, True])
             self.py_ising[i].append((j, wid))
             self.py_ising[j].append((i, wid))
+            self._count_adjust(wid, 1)
             self._nbr_adjust(i, j, 1)
             self._nbr_adjust(j, i, 1)
             patch.ising_add.append((int(i), int(j), int(wid)))
@@ -839,6 +996,7 @@ class CompiledFactorGraph:
             touch(j)
         for head, wid, code, groundings in ops["rule_add"]:
             semantics = sem_from_code(code)
+            self._count_adjust(wid, 1)
             factor = RuleFactor(
                 weight_id=wid, head=head, groundings=groundings, semantics=semantics
             )

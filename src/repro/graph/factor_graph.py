@@ -213,6 +213,12 @@ class WeightStore:
     def learnable_ids(self) -> list:
         return np.flatnonzero(~self._fixed[: self._size]).tolist()
 
+    def fixed_mask(self) -> np.ndarray:
+        """Read-only boolean view: True where the weight is fixed."""
+        view = self._fixed[: self._size]
+        view.flags.writeable = False
+        return view
+
     def copy(self) -> "WeightStore":
         clone = WeightStore()
         clone._values = self._values.copy()

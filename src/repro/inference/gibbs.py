@@ -142,28 +142,39 @@ class GibbsSampler:
                 new_vals[var - old_n] = val
         self.state = np.concatenate([self.state, new_vals])
 
-    def apply_patch(self, patch) -> None:
+    def apply_patch(self, patch, graph: FactorGraph | None = None) -> None:
         """Warm-start this chain across a compiled-graph patch.
 
         The assignment of surviving variables is kept (the paper's
         incremental-inference premise: ``Pr^∆`` is close to ``Pr⁰``, so a
         stationary state of the old chain is a near-stationary start for
         the new one); new variables are initialized from their bias and
-        re-clamped evidence flows through the cache."""
+        re-clamped evidence flows through the cache.
+
+        ``graph`` overrides the post-patch graph this chain samples:
+        pass a structure-identical twin with its own evidence (e.g. the
+        evidence-free chain of SGD learning) to keep the chain's clamping
+        independent of the compiled graph's — only evidence the override
+        graph actually clamps is re-applied."""
         compiled = self.compiled
         self._grow_state(patch)
-        self.graph = compiled.graph
+        self.graph = graph if graph is not None else compiled.graph
+        clamps = [
+            (var, val)
+            for var, val in patch.evidence_sets
+            if self.graph.evidence_value(var) is not None
+        ]
         if patch.compacted:
             # Full recompaction invalidated blocks and caches: re-derive
             # them; the warm assignment is all that carries over.
-            for var, val in patch.evidence_sets:
+            for var, val in clamps:
                 self.state[var] = val
             self.plan = compiled.plan(self.graph)
             self.cache = GibbsCache(compiled, self.state)
             return
         self.cache.apply_patch(patch, self.state)
         self.plan = compiled.plan(self.graph)
-        for var, val in patch.evidence_sets:
+        for var, val in clamps:
             if bool(self.state[var]) != val:
                 self.cache.commit_flip(int(var), bool(val), self.state)
 

@@ -93,11 +93,32 @@ class IndependentMH:
         (optimizer rule 4, §3.3).
         """
         evaluator = self.evaluator
-        current, current_delta = self._initial_state()
         total_vars = evaluator.total_vars
 
         steps = min(num_steps, len(self.stored))
         exhausted = steps < num_steps
+        if steps == 0:
+            # Nothing to propose.  Never fabricate an all-zero marginal
+            # vector (``counts / 1`` would confidently report every
+            # variable false): report the initial-state counts when a
+            # stored world exists, and fail loudly when none does —
+            # callers are expected to fall back *before* running MH on an
+            # empty bundle.
+            if len(self.stored) == 0:
+                raise ValueError(
+                    "no stored proposals available (bundle exhausted); "
+                    "fall back to another strategy instead of running MH"
+                )
+            current, _ = self._initial_state()
+            return MHResult(
+                marginals=current.astype(float),
+                acceptance_rate=0.0,
+                proposals_used=0,
+                accepted=0,
+                exhausted=exhausted,
+                chain=np.zeros((0, total_vars), dtype=bool) if keep_chain else None,
+            )
+        current, current_delta = self._initial_state()
 
         counts = np.zeros(total_vars, dtype=np.int64)
         chain = np.empty((steps, total_vars), dtype=bool) if keep_chain else None

@@ -483,6 +483,7 @@ def attach_compiled(spec: dict):
     c._fh1 = None
     c._fh2 = None
     c._ri_factor = None
+    c.weight_factor_counts = None  # gradient aggregation is controller-only
     c._patched = bool(c.var_patched.any())
     c._nbr_patch = {}
     c._csr_num_vars = c.num_vars
@@ -580,6 +581,23 @@ class _Worker:
             worlds.append(chain["state"].copy())
         return _pack_worlds(worlds)
 
+    def chain_pseudo_nll(self, chain_id):
+        """Evidence pseudo-NLL scored against this chain's live cache.
+
+        Runs where the conditioned chain of a pool-backed
+        :class:`~repro.learning.sgd.SGDLearner` lives, so per-epoch loss
+        recording neither ships the state back nor rebuilds a cache.  The
+        scorer is cached per chain and dropped on graph patches."""
+        from repro.learning.gradient import EvidenceScorer
+
+        chain = self.chains[chain_id]
+        scorer = chain.get("nll_scorer")
+        if scorer is None:
+            scorer = chain["nll_scorer"] = EvidenceScorer(
+                self.compiled, chain["stub"].evidence
+            )
+        return scorer.nll(chain["cache"], chain["state"])
+
     def chain_sample_for(self, chain_id, seconds, thin=1, burn_in=0):
         """Best-effort collection within a local time budget (§3.3)."""
         chain = self.chains[chain_id]
@@ -662,6 +680,7 @@ class _Worker:
         self.shard = None
         for chain in self.chains.values():
             custom = chain["custom_evidence"]
+            chain.pop("nll_scorer", None)
             self._patch_chain_state(chain, patch)
             chain["cache"].apply_patch(patch, chain["state"])
             chain["stub"].apply_patch(

@@ -9,6 +9,16 @@ where ``U_k(I) = Σ_{f : weight(f)=k} u_f(I)`` sums the *unit energies*
 (``sign·g(n)``, ``σ_i σ_j``, or ``σ_v``) of the factors tied to ``w_k``.
 Both expectations are estimated with Gibbs samples: a chain with evidence
 clamped and a free chain.
+
+Two implementations of the statistics accumulation coexist:
+
+* the **compiled** path (pass ``compiled=``) batches the whole ``(S, n)``
+  world matrix against the flat CSR arrays of
+  :class:`~repro.graph.compiled.CompiledFactorGraph` — the learning hot
+  path, and the one that stays O(live factors) across ``apply_delta``
+  patches;
+* the **Python slow path** below walks ``graph.factors`` per world; it is
+  the randomized-equivalence reference for the compiled kernel.
 """
 
 from __future__ import annotations
@@ -18,13 +28,19 @@ import numpy as np
 from repro.graph.factor_graph import FactorGraph
 
 
-def weight_statistics(graph: FactorGraph, worlds: np.ndarray) -> np.ndarray:
+def weight_statistics(
+    graph: FactorGraph, worlds: np.ndarray, compiled=None
+) -> np.ndarray:
     """Mean unit-energy vector ``E[U_k]`` over ``worlds``.
 
     Returns an array of length ``len(graph.weights)``; entry ``k`` is the
     average over worlds of the summed unit energies of factors tied to
-    weight ``k``.
+    weight ``k``.  With ``compiled`` (a
+    :class:`~repro.graph.compiled.CompiledFactorGraph` over the same
+    structure) the accumulation is vectorised over the flat arrays.
     """
+    if compiled is not None:
+        return compiled.weight_statistics(worlds)
     worlds = np.asarray(worlds, dtype=bool)
     if worlds.ndim == 1:
         worlds = worlds[None, :]
@@ -35,8 +51,10 @@ def weight_statistics(graph: FactorGraph, worlds: np.ndarray) -> np.ndarray:
     return totals / worlds.shape[0]
 
 
-def factor_counts_per_weight(graph: FactorGraph) -> np.ndarray:
+def factor_counts_per_weight(graph: FactorGraph, compiled=None) -> np.ndarray:
     """Number of factors tied to each weight id."""
+    if compiled is not None:
+        return compiled.factor_counts_per_weight()
     counts = np.zeros(len(graph.weights))
     for factor in graph.factors:
         counts[factor.weight_id] += 1
@@ -49,6 +67,7 @@ def weight_gradient(
     free_worlds: np.ndarray,
     l2: float = 0.0,
     normalize: bool = True,
+    compiled=None,
 ) -> np.ndarray:
     """Estimated ∇ log Pr[E] (zero for ``fixed`` weights).
 
@@ -59,16 +78,78 @@ def weight_gradient(
     number of factors tied to that weight, so heavily-tied weights (which
     otherwise receive O(#groundings)-scale gradients) take comparably
     sized steps to rare features — the usual per-feature scaling.
+
+    ``compiled`` routes both statistics passes and the normalizer through
+    the compiled aggregation arrays (see module docstring).
     """
-    grad = weight_statistics(graph, conditioned_worlds) - weight_statistics(
-        graph, free_worlds
-    )
+    grad = weight_statistics(
+        graph, conditioned_worlds, compiled=compiled
+    ) - weight_statistics(graph, free_worlds, compiled=compiled)
     if normalize:
-        counts = factor_counts_per_weight(graph)
+        counts = factor_counts_per_weight(graph, compiled=compiled)
         grad = grad / np.maximum(counts, 1.0)
     if l2:
         grad -= l2 * graph.weights.values_array()
-    for wid in range(len(graph.weights)):
-        if graph.weights.is_fixed(wid):
-            grad[wid] = 0.0
+    grad[graph.weights.fixed_mask()] = 0.0
     return grad
+
+
+def _sigmoid_vec(x: np.ndarray) -> np.ndarray:
+    """Numerically stable element-wise sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class EvidenceScorer:
+    """Pseudo-NLL of the evidence against a *live* :class:`GibbsCache`.
+
+    Scores ``−mean log P(x_v = label | rest)`` over the evidence
+    variables without rebuilding any O(graph) state per call: the caller
+    hands in a maintained cache (typically the conditioned persistent
+    chain's), and the scorer only evaluates the per-variable conditionals.
+    Variables free of slow-path factors batch through
+    ``delta_energy_block`` when numerous; the rest go through the scalar
+    kernel.  Rebuild the scorer when the evidence set or the compiled
+    structure changes (it precomputes gather arrays over both).
+    """
+
+    def __init__(self, compiled, evidence) -> None:
+        from repro.graph.compiled import _BATCH_MIN, _Block
+
+        items = sorted((int(v), bool(val)) for v, val in evidence.items())
+        self.vars = np.array([v for v, _ in items], dtype=np.int64)
+        self.vals = np.array([val for _, val in items], dtype=bool)
+        has_slow = np.array(
+            [bool(compiled.py_slow[v]) for v in self.vars], dtype=bool
+        )
+        self.block = None
+        self.fast_idx = None
+        fast = self.vars[~has_slow]
+        if fast.size >= _BATCH_MIN:
+            block = _Block(compiled, fast)
+            if block.use_batch:
+                self.block = block
+                self.fast_idx = np.flatnonzero(~has_slow)
+        self.scalar_idx = (
+            np.flatnonzero(has_slow)
+            if self.block is not None
+            else np.arange(self.vars.size)
+        )
+
+    def nll(self, cache, state: np.ndarray) -> float:
+        """The pseudo-NLL under ``cache``/``state`` (evidence clamped)."""
+        if not self.vars.size:
+            return 0.0
+        cache.refresh_weights(state)
+        deltas = np.empty(self.vars.size, dtype=np.float64)
+        if self.block is not None:
+            deltas[self.fast_idx] = cache.delta_energy_block(self.block, state)
+        for k in self.scalar_idx:
+            deltas[k] = cache.delta_energy(int(self.vars[k]), state)
+        p = _sigmoid_vec(deltas)
+        p = np.where(self.vals, p, 1.0 - p)
+        return float(-np.log(np.maximum(p, 1e-12)).mean())

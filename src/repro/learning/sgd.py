@@ -5,6 +5,15 @@ learning (§1), run as two persistent chains — one conditioned on the
 evidence, one free — whose sample statistics estimate the gradient
 (contrastive-divergence style).  *Warmstart* (App. B.3) simply means the
 weight store is left at its previous values instead of being zeroed.
+
+The learner is **persistent and patchable**: :meth:`SGDLearner.apply_patch`
+carries both chains, the compiled gradient aggregation and the evidence
+scorer across a :meth:`CompiledFactorGraph.apply_delta` patch, so
+re-learning after a development-loop update (the F2+S2 iterations of
+Fig. 16) pays O(|Δ|) setup instead of recompiling the graph and
+restarting the chains.  Gradient statistics run on the compiled flat
+arrays (:meth:`CompiledFactorGraph.weight_statistics`), batched over the
+whole ``(S, n)`` world matrix.
 """
 
 from __future__ import annotations
@@ -17,7 +26,7 @@ import numpy as np
 from repro.graph.compiled import CompiledFactorGraph, GibbsCache
 from repro.graph.factor_graph import FactorGraph
 from repro.inference.gibbs import GibbsSampler, _sigmoid
-from repro.learning.gradient import weight_gradient
+from repro.learning.gradient import EvidenceScorer, weight_gradient
 from repro.util.rng import as_generator
 
 
@@ -58,6 +67,10 @@ class SGDLearner:
         weight updates are pushed to the workers between epochs.  ``1``
         (default) keeps both chains in-process.  Call :meth:`close` (or
         use the learner as a context manager) when workers were used.
+    compiled:
+        Optional shared (possibly incrementally patched) compilation —
+        re-learning after a delta shares the engine's patched substrate
+        instead of recompiling.
     """
 
     def __init__(
@@ -95,6 +108,7 @@ class SGDLearner:
         # is reused as-is — re-learning after a delta shares the engine's
         # patched substrate instead of recompiling.
         self._compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
+        self._scorer = None
         self._pool = None
         if n_workers >= 2:
             from repro.inference.parallel import GibbsWorkerPool
@@ -120,6 +134,48 @@ class SGDLearner:
 
     # ------------------------------------------------------------------ #
 
+    def apply_patch(self, patch) -> None:
+        """Warm-start the learner across a compiled-graph patch.
+
+        Both persistent chains keep their assignments (new variables
+        start from their bias-only conditional; re-clamped evidence flows
+        through the caches), the weight store's growth flows through the
+        capacity-slack weight region of the shared export, and the
+        compiled gradient aggregation is already patched (it lives in the
+        same flat arrays).  The free chain keeps its evidence-free twin
+        of the updated structure.
+
+        ``patch`` is the :class:`~repro.graph.compiled.CompiledPatch`
+        returned by ``apply_delta`` on this learner's compilation — the
+        caller (typically an engine) owns applying the delta.
+        """
+        compiled = self._compiled
+        self.graph = compiled.graph
+        self.free_graph = self.graph.copy(share_weights=True)
+        for var in list(self.free_graph.evidence):
+            self.free_graph.clear_evidence(var)
+        self._scorer = None
+        if self._pool is not None:
+            in_place = (
+                not patch.compacted and self._pool.export.apply_patch(compiled)
+            )
+            if in_place:
+                # Segment grown in place: workers replay the ops and
+                # warm-patch their chains; the processes never respawn.
+                self._pool.graph_patch(compiled, patch)
+            else:
+                # Capacity overflow or compaction: fresh segment, same
+                # worker processes, chain states carried over.
+                if compiled.has_patches:
+                    compiled.compact()
+                    patch.compacted = True
+                self._pool.reexport(compiled, ops=patch.ops)
+        else:
+            self._conditioned.apply_patch(patch)
+            self._free.apply_patch(patch, graph=self.free_graph)
+
+    # ------------------------------------------------------------------ #
+
     def epoch(self) -> float:
         """One SGD epoch; returns the gradient norm."""
         if self._pool is not None:
@@ -131,7 +187,13 @@ class SGDLearner:
             free_worlds = self._free.sample_worlds(
                 self.samples_per_epoch, thin=self.sweeps_per_epoch
             )
-        grad = weight_gradient(self.graph, cond_worlds, free_worlds, l2=self.l2)
+        grad = weight_gradient(
+            self.graph,
+            cond_worlds,
+            free_worlds,
+            l2=self.l2,
+            compiled=self._compiled,
+        )
         values = self.graph.weights.values_array() + self.step_size * grad
         self.graph.weights.set_values_array(values)
         return float(np.linalg.norm(grad))
@@ -184,27 +246,42 @@ class SGDLearner:
 
     # ------------------------------------------------------------------ #
 
-    def evidence_pseudo_nll(self) -> float:
+    def evidence_pseudo_nll(self, fresh_cache: bool = False) -> float:
         """Negative pseudo-log-likelihood of the evidence variables.
 
         For each evidence variable v we score
         ``−log P(x_v = label | rest)`` on the *unclamped* graph, with the
         rest of the world taken from the conditioned chain's state.  This
         is the standard tractable loss proxy for MRF learning.
+
+        The default path scores against the conditioned chain's *live*
+        cache (in-process, or inside worker 0 for the pool learner), so
+        per-epoch loss recording never rebuilds O(graph) cache state.
+        ``fresh_cache=True`` forces the old build-a-cache-per-call path —
+        kept as the equivalence reference.
         """
         evidence = self.graph.evidence
         if not evidence:
             return 0.0
+        if fresh_cache:
+            if self._pool is not None:
+                state = self._pool.call(0, "chain_states", chain_ids=[0])[0]
+            else:
+                state = self._conditioned.state.copy()
+            ev_vars, ev_vals = self.graph.evidence_arrays()
+            state[ev_vars] = ev_vals
+            cache = GibbsCache(self._compiled, state)
+            total = 0.0
+            for var, value in evidence.items():
+                p_true = _sigmoid(cache.delta_energy(var, state))
+                p = p_true if value else 1.0 - p_true
+                total -= np.log(max(p, 1e-12))
+            return total / len(evidence)
         if self._pool is not None:
-            state = self._pool.call(0, "chain_states", chain_ids=[0])[0]
-        else:
-            state = self._conditioned.state.copy()
-        ev_vars, ev_vals = self.graph.evidence_arrays()
-        state[ev_vars] = ev_vals
-        cache = GibbsCache(self._compiled, state)
-        total = 0.0
-        for var, value in evidence.items():
-            p_true = _sigmoid(cache.delta_energy(var, state))
-            p = p_true if value else 1.0 - p_true
-            total -= np.log(max(p, 1e-12))
-        return total / len(evidence)
+            # Workers read weights from the shared region: publish any
+            # between-epoch update before scoring there.
+            self._pool.push_weights(self.graph.weights)
+            return float(self._pool.call(0, "chain_pseudo_nll", chain_id=0))
+        if self._scorer is None:
+            self._scorer = EvidenceScorer(self._compiled, evidence)
+        return self._scorer.nll(self._conditioned.cache, self._conditioned.state)

@@ -65,6 +65,27 @@ class TestIndependentMHEdgeCases:
         # Asking for zero steps is not exhaustion: samples remain.
         assert not result.exhausted
 
+    def test_zero_steps_reports_initial_state_not_zeros(self):
+        """Regression: a 0-step run used to return ``counts / 1`` — an
+        all-zero marginal vector masquerading as a confident answer."""
+        fg = chain_ising_graph(3, coupling=0.0, bias=2.0)
+        samples = np.ones((4, 3), dtype=bool)
+        mh = IndependentMH(fg, FactorGraphDelta(), samples, seed=0)
+        result = mh.run(0)
+        assert result.proposals_used == 0
+        # Initial-state counts (the first stored world), not zeros.
+        assert result.marginals.min() == 1.0
+
+    def test_empty_bundle_raises_instead_of_fabricating(self):
+        """Regression: MH over an empty bundle crashed with IndexError
+        (or would return zeros); it must fail loudly so callers fall
+        back."""
+        fg = chain_ising_graph(3)
+        empty = np.zeros((0, 3), dtype=bool)
+        mh = IndependentMH(fg, FactorGraphDelta(), empty, seed=0)
+        with pytest.raises(ValueError, match="no stored proposals"):
+            mh.run(10)
+
     def test_keep_chain_shape(self):
         fg = chain_ising_graph(3)
         samples = np.zeros((10, 3), dtype=bool)

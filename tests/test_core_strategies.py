@@ -139,6 +139,24 @@ class TestSamplingStrategy:
         assert collected > 0
         assert mat.materialization_seconds <= 1.0
 
+    def test_empty_rematerialization_keeps_cursor(self):
+        """Regression: a failed/empty re-materialization (here a zero
+        time budget) kept the old bundle but reset the cursor, silently
+        reviving already-consumed samples as MH proposals."""
+        fg = chain_ising_graph(4)
+        mat = SampleMaterialization(fg, seed=0)
+        mat.materialize(num_samples=10, burn_in=5)
+        mat.infer(FactorGraphDelta(), num_steps=6)
+        assert mat.samples_remaining == 4
+        collected = mat.materialize(time_budget=0.0)
+        assert collected == 10  # old bundle retained...
+        assert mat.samples_remaining == 4  # ...cursor too
+        result = mat.infer(FactorGraphDelta(), num_steps=10)
+        assert result.proposals_used == 4  # only the unconsumed tail
+        # A *successful* re-materialization does replace bundle + cursor.
+        mat.materialize(num_samples=5, burn_in=1)
+        assert mat.samples_remaining == 5
+
     def test_storage_is_bit_packed(self):
         # The bundle is genuinely bit-packed: 8 variables per byte, the
         # final byte of each row padded — so 7 variables cost 1 byte/row.

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core import EngineConfig, IncrementalEngine, RerunEngine
 from repro.core.costmodel import CostInputs, all_costs
-from repro.graph import BiasFactor, FactorGraphDelta
+from repro.graph import BiasFactor, FactorGraph, FactorGraphDelta
 from repro.inference import ExactInference
 from repro.util.stats import max_marginal_error
 
@@ -119,6 +119,39 @@ class TestIncrementalEngine:
             FactorGraphDelta(evidence_updates={0: True})
         )
         assert outcome.strategy == "sampling"
+
+    def test_sampling_lesion_exhausted_keeps_last_marginals(self):
+        """Regression (Fig. 11 lesion): with only the sampling strategy
+        and a dry bundle, the engine used to run a 0-step MH pass and
+        ship its artifact (an IndexError crash / all-zero marginals).
+        It must ship the last known marginals, flagged exhausted."""
+        fg = FactorGraph()
+        bias = fg.weights.intern("b", initial=1.0)
+        for v in range(6):
+            fg.add_variable()
+            fg.add_bias_factor(bias, v)
+        fg.set_evidence(0, True)
+        engine = IncrementalEngine(
+            fg,
+            config(
+                materialization_samples=5,
+                inference_steps=10,
+                strategies=("sampling",),
+            ),
+        )
+        engine.materialize()
+        first = engine.apply_update(FactorGraphDelta(evidence_updates={1: True}))
+        assert first.samples_used > 0
+        # Bundle is now dry: the next update cannot execute a single step.
+        outcome = engine.apply_update(
+            FactorGraphDelta(evidence_updates={2: True})
+        )
+        assert outcome.details.get("exhausted") is True
+        assert outcome.samples_used == 0
+        # Positively-biased free variables keep a sensible marginal.
+        for v in (3, 4, 5):
+            assert outcome.marginals[v] > 0.5
+        assert outcome.marginals[2] == 1.0  # new evidence still clamped
 
     def test_no_workload_info_baseline(self):
         fg = chain_ising_graph(5, 0.5, 0.2)
