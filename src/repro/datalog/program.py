@@ -30,6 +30,8 @@ class Program:
         self.derivation_rules: list = []
         self.inference_rules: list = []
         self.default_semantics = Semantics.coerce(default_semantics)
+        self._stratified_key: tuple | None = None
+        self._stratified_cache: list = []
 
     # ------------------------------------------------------------------ #
     # Schema
@@ -127,7 +129,21 @@ class Program:
     # ------------------------------------------------------------------ #
 
     def stratified_derivation_rules(self) -> list:
-        """Derivation rules in dependency order; raises on recursion."""
+        """Derivation rules in dependency order; raises on recursion.
+
+        Memoized per rule-list identity (incremental updates call this
+        every iteration); any change to ``derivation_rules`` — including
+        direct reassignment — changes the key and recomputes.
+        """
+        key = tuple(id(rule) for rule in self.derivation_rules)
+        if key == self._stratified_key:
+            return list(self._stratified_cache)
+        order = self._stratify()
+        self._stratified_key = key
+        self._stratified_cache = order
+        return list(order)
+
+    def _stratify(self) -> list:
         derives = {}
         for rule in self.derivation_rules:
             derives.setdefault(rule.head.pred, []).append(rule)

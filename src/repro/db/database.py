@@ -6,10 +6,18 @@ from repro.db.relation import Relation
 
 
 class Database:
-    """Named relations plus convenience bulk operations."""
+    """Named relations plus convenience bulk operations.
+
+    The database also owns the columnar substrate: a lazily created
+    :class:`~repro.db.columnar.ColumnarStore` (shared constant interner,
+    per-relation numpy mirrors, join-plan cache) that the vectorized
+    grounding engine runs on.  Relations never touched columnarly pay
+    nothing.
+    """
 
     def __init__(self) -> None:
         self._relations: dict = {}
+        self._columnar = None
 
     def create_relation(self, name: str, columns) -> Relation:
         if name in self._relations:
@@ -29,6 +37,42 @@ class Database:
 
     def drop_relation(self, name: str) -> None:
         del self._relations[name]
+        if self._columnar is not None:
+            self._columnar.drop(name)
+
+    @property
+    def columnar(self):
+        """The lazily created columnar store (mirrors + interner + plans)."""
+        if self._columnar is None:
+            from repro.db.columnar import ColumnarStore
+
+            self._columnar = ColumnarStore()
+        return self._columnar
+
+    def index_stats(self) -> dict:
+        """Aggregate index counters for benchmarks and regression tests.
+
+        ``legacy`` sums the per-relation lazy hash-index counters
+        (:meth:`Relation.index_stats`); ``columnar`` reports the columnar
+        store's bucket-index builds, batch probes, and full mirror
+        (re)builds.  Both *build* counters must stay flat across
+        ``apply_delta`` — indexes are maintained, never rebuilt, under
+        deltas.
+        """
+        legacy = {"indexes": 0, "builds": 0, "probes": 0}
+        for relation in self._relations.values():
+            for key, value in relation.index_stats().items():
+                legacy[key] += value
+        columnar = (
+            dict(self._columnar.stats) if self._columnar is not None
+            else {
+                "index_builds": 0,
+                "index_merges": 0,
+                "probes": 0,
+                "rebuilds": 0,
+            }
+        )
+        return {"legacy": legacy, "columnar": columnar}
 
     def relation_names(self) -> list:
         return list(self._relations)

@@ -84,6 +84,43 @@ def _candidate_rows(db: Database, atom: Atom, binding: dict, source):
     return [(row, 1) for row in rows]
 
 
+def static_join_order(atoms, source_positions=frozenset(), prebound=frozenset()):
+    """The query's static atom order under the ``bound_score`` heuristic.
+
+    Greedy: delta sources first, then the atom with the most bound
+    argument positions (constants count as bound; a processed atom binds
+    all its variables).  Which variables are bound at any point of the
+    backtracking join depends only on *which atoms* were already
+    processed — never on their values — so the per-binding order the
+    evaluator used to recompute is in fact one static order per query;
+    computing it once here removes the O(k²) rescoring from every
+    recursion level of the slow path and gives the columnar plan compiler
+    (:mod:`repro.db.plan`) the identical order.
+    """
+    atoms = tuple(atoms)
+    bound = set(prebound)
+    remaining = list(range(len(atoms)))
+    order = []
+
+    def bound_score(idx: int) -> tuple:
+        atom = atoms[idx]
+        count = sum(
+            1
+            for arg in atom.args
+            if not isinstance(arg, Var) or arg.name in bound
+        )
+        return (idx in source_positions, count, -idx)
+
+    while remaining:
+        idx = max(remaining, key=bound_score)
+        remaining.remove(idx)
+        order.append(idx)
+        for arg in atoms[idx].args:
+            if isinstance(arg, Var):
+                bound.add(arg.name)
+    return tuple(order)
+
+
 def evaluate_query(
     db: Database,
     atoms,
@@ -91,6 +128,10 @@ def evaluate_query(
     sources: dict | None = None,
 ):
     """Yield ``(binding, sign)`` for every derivation of the conjunction.
+
+    This is the tuple-at-a-time reference evaluator — the slow-path
+    oracle the columnar plans (:mod:`repro.db.plan`) are equivalence
+    -tested against.
 
     Parameters
     ----------
@@ -104,35 +145,26 @@ def evaluate_query(
         delta relations), and their signs multiply into the result.
     """
     atoms = list(atoms)
+    initial_binding = dict(initial_binding or {})
+    order = static_join_order(
+        atoms,
+        frozenset(sources or ()),
+        frozenset(initial_binding),
+    )
 
-    def bound_score(idx: int, binding: dict) -> tuple:
-        """Join-order heuristic: delta sources first, then the atom with
-        the most bound argument positions (constants count as bound)."""
-        atom = atoms[idx]
-        bound = sum(
-            1
-            for arg in atom.args
-            if not isinstance(arg, Var) or arg.name in binding
-        )
-        is_source = 1 if sources and idx in sources else 0
-        return (is_source, bound, -idx)
-
-    def recurse(remaining: tuple, binding: dict, sign: int):
-        if not remaining:
+    def recurse(level: int, binding: dict, sign: int):
+        if level == len(order):
             yield binding, sign
             return
-        idx = max(remaining, key=lambda i: bound_score(i, binding))
-        rest = tuple(i for i in remaining if i != idx)
+        idx = order[level]
         atom = atoms[idx]
         source = sources.get(idx) if sources else None
         for row, row_sign in _candidate_rows(db, atom, binding, source):
             extended = _match_row(atom, row, binding)
             if extended is not None:
-                yield from recurse(rest, extended, sign * row_sign)
+                yield from recurse(level + 1, extended, sign * row_sign)
 
-    yield from recurse(
-        tuple(range(len(atoms))), dict(initial_binding or {}), 1
-    )
+    yield from recurse(0, initial_binding, 1)
 
 
 def evaluate_bindings(db: Database, atoms, initial_binding=None):

@@ -22,6 +22,9 @@ class Relation:
         self._counts: dict = {}
         self._indexes: dict = {}  # positions tuple -> {key tuple: set of rows}
         self._rows_cache: tuple | None = None  # invalidated on visibility change
+        self._mirrors: list = []  # transition logs of columnar mirrors
+        self.index_builds = 0  # lazy index constructions (not maintenance)
+        self.index_probes = 0  # lookups answered from an index
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -48,6 +51,7 @@ class Relation:
         if old == 0:
             self._index_add(row)
             self._rows_cache = None
+            self._notify(row, 1)
             return True
         return False
 
@@ -71,9 +75,43 @@ class Relation:
             del self._counts[row]
             self._index_remove(row)
             self._rows_cache = None
+            self._notify(row, -1)
             return True
         self._counts[row] = new
         return False
+
+    def bulk_insert_counts(self, mapping: dict) -> None:
+        """Insert a ``{row: positive count}`` map in one pass.
+
+        Semantically ``insert(row, count)`` per entry (rows must already
+        be tuples of the right arity); used by the columnar grounding
+        engine to fold whole aggregated head batches into the relation
+        without per-row call overhead.
+        """
+        counts = self._counts
+        arity = self.arity
+        # Validate everything before mutating anything: a mid-map raise
+        # must not leave earlier rows inserted without index/mirror
+        # maintenance.
+        for row, count in mapping.items():
+            if count <= 0:
+                raise ValueError("insert count must be positive")
+            if len(row) != arity:
+                raise ValueError(
+                    f"{self.name}: expected arity {arity}, got "
+                    f"{len(row)}: {row!r}"
+                )
+        appeared = []
+        for row, count in mapping.items():
+            old = counts.get(row, 0)
+            counts[row] = old + count
+            if old == 0:
+                appeared.append(row)
+        if appeared:
+            self._rows_cache = None
+            for row in appeared:
+                self._index_add(row)
+                self._notify(row, 1)
 
     def apply_delta(self, delta: dict) -> tuple:
         """Apply a ``{row: signed count}`` delta.
@@ -95,6 +133,27 @@ class Relation:
         self._counts.clear()
         self._indexes.clear()
         self._rows_cache = None
+        self._notify(None, 0)  # reset sentinel: mirrors reload from scratch
+
+    def attach_mirror(self, log: list) -> None:
+        """Register a visibility-transition log (a columnar mirror's).
+
+        Every subsequent visibility transition appends ``(row, ±1)`` to
+        ``log``; :meth:`clear` appends the ``(None, 0)`` reset sentinel.
+        Mirrors drain their log on sync, so maintenance is O(|Δ|).
+        """
+        self._mirrors.append(log)
+
+    def _notify(self, row, sign: int) -> None:
+        for log in self._mirrors:
+            log.append((row, sign))
+            # An orphaned mirror (attached once, never synced again)
+            # must not accumulate the relation's whole mutation history:
+            # past a multiple of the relation size, collapse the log to
+            # the reset sentinel — the mirror reloads in full on its
+            # next sync, which costs no more than replaying the log.
+            if len(log) > 4 * len(self._counts) + 256:
+                log[:] = [(None, 0)]
 
     # ------------------------------------------------------------------ #
     # Reads
@@ -136,13 +195,25 @@ class Relation:
             return self.rows()
         index = self._indexes.get(positions)
         if index is None:
+            self.index_builds += 1
             index = {}
             for row in self._counts:
                 key = tuple(row[p] for p in positions)
                 index.setdefault(key, set()).add(row)
             self._indexes[positions] = index
+        self.index_probes += 1
         bucket = index.get(tuple(values))
         return tuple(bucket) if bucket else ()
+
+    def index_stats(self) -> dict:
+        """Lazy-index counters: builds are full constructions (deltas
+        maintain existing indexes in place and must not bump this),
+        probes are index-served lookups."""
+        return {
+            "indexes": len(self._indexes),
+            "builds": self.index_builds,
+            "probes": self.index_probes,
+        }
 
     # ------------------------------------------------------------------ #
     # Index maintenance

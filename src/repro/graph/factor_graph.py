@@ -282,6 +282,13 @@ class FactorGraph:
         self._names.extend([None] * count)
         return range(start, self._num_vars)
 
+    def add_named_variables(self, names) -> range:
+        """Add one free variable per name in one pass; returns the range."""
+        start = self._num_vars
+        self._names.extend(names)
+        self._num_vars = len(self._names)
+        return range(start, self._num_vars)
+
     def name_of(self, var: int):
         return self._names[var]
 

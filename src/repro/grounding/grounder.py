@@ -11,28 +11,106 @@ Phases, mirroring the paper's execution model:
 4. **Factors** — each inference rule's body join is evaluated; bindings
    are grouped by ``(head variable, weight key)`` and each group becomes
    one rule factor whose groundings are the bodies' variable literals.
+
+Two join engines drive phases 1 and 4.  The default ``columnar`` engine
+compiles each rule body into a vectorized plan over the database's
+columnar mirrors (:mod:`repro.db.plan`) and folds whole binding batches
+into relations and factor records; the ``legacy`` engine is the original
+tuple-at-a-time evaluator (:func:`repro.db.query.evaluate_query`), kept
+as the randomized-equivalence slow path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.datalog.ast import EVIDENCE_SUFFIX, InferenceRule
 from repro.datalog.program import Program
 from repro.db.database import Database
 from repro.db.query import Var, evaluate_query
-from repro.graph.factor_graph import FactorGraph
+from repro.graph.factor_graph import FactorGraph, RuleFactor
+
+_ENGINES = ("columnar", "legacy")
+
+
+class GroundingMultiset:
+    """Counted multiset of groundings — insertion-ordered, O(1) updates.
+
+    Factor records used to keep groundings as a plain list, making each
+    retraction an O(n) ``list.remove`` scan (quadratic over a heavy
+    retraction delta).  This keeps ``{grounding: count}`` (dicts preserve
+    insertion order), so a batch of |Δ| retractions costs O(|Δ|).
+    """
+
+    __slots__ = ("_counts", "_total")
+
+    def __init__(self, items=()) -> None:
+        self._counts: dict = {}
+        self._total = 0
+        if items:
+            self.extend(items)
+
+    def append(self, grounding) -> None:
+        self._counts[grounding] = self._counts.get(grounding, 0) + 1
+        self._total += 1
+
+    def extend(self, groundings) -> None:
+        counts = self._counts
+        added = 0
+        for grounding in groundings:
+            counts[grounding] = counts.get(grounding, 0) + 1
+            added += 1
+        self._total += added
+
+    def remove(self, grounding) -> None:
+        count = self._counts.get(grounding, 0)
+        if count == 0:
+            raise ValueError(f"grounding not present: {grounding!r}")
+        if count == 1:
+            del self._counts[grounding]
+        else:
+            self._counts[grounding] = count - 1
+        self._total -= 1
+
+    def counts(self) -> dict:
+        """A copy of the ``{grounding: count}`` map."""
+        return dict(self._counts)
+
+    def as_tuple(self) -> tuple:
+        """All groundings (with multiplicity) as a tuple."""
+        counts = self._counts
+        if self._total == len(counts):  # all counts 1: one C-level pass
+            return tuple(counts)
+        return tuple(self)
+
+    def __len__(self) -> int:
+        return self._total
+
+    def __bool__(self) -> bool:
+        return self._total > 0
+
+    def __iter__(self):
+        for grounding, count in self._counts.items():
+            for _ in range(count):
+                yield grounding
 
 
 @dataclass
 class FactorRecord:
-    """Bookkeeping for one grounded factor (used incrementally)."""
+    """Bookkeeping for one grounded factor (used incrementally).
+
+    During a full ground ``groundings`` is a plain list (append-only, so
+    C-level extends suffice); :class:`IncrementalGrounder` promotes it to
+    a :class:`GroundingMultiset` so retraction deltas stay O(|Δ|).
+    """
 
     rule_name: str
     head_var: int
     weight_id: int
     semantics: object
-    groundings: list = field(default_factory=list)
+    groundings: object = field(default_factory=list)
     factor_index: int = -1
 
 
@@ -58,6 +136,87 @@ def _instantiate(atom, binding) -> tuple:
     )
 
 
+# ---------------------------------------------------------------------- #
+# Columnar helpers (shared by full and incremental grounding)
+# ---------------------------------------------------------------------- #
+
+
+def execute_body_columnar(db: Database, body, sources=None):
+    """Evaluate a rule body into a :class:`BindingBatch` via a cached plan.
+
+    ``sources`` maps atom index → :class:`ColumnarBatch` (delta
+    relations); their signs multiply through the join.
+    """
+    store = db.columnar
+    plan = store.plan(body, frozenset(sources or ()))
+    return plan.execute(store, db, sources=sources)
+
+
+def signed_head_counts(db: Database, rule, batch) -> dict:
+    """Fold a binding batch into ``{head tuple: signed count}``.
+
+    UDF-free rules aggregate entirely in numpy (group-by over the head
+    columns); UDF rules decode the batch once and expand per binding
+    (UDFs are arbitrary Python and must see real values).
+    """
+    interner = db.columnar.interner
+    if rule.udf is None and batch.num_rows < _BATCH_VECTOR_THRESHOLD:
+        # Small batches: decode only the head columns, fold in Python.
+        import itertools
+
+        m = batch.num_rows
+        cols = [
+            interner.decode(batch.cols[arg.name])
+            if isinstance(arg, Var)
+            else itertools.repeat(arg, m)
+            for arg in rule.head.args
+        ]
+        counts: dict = {}
+        for row, sign in zip(zip(*cols), batch.signs.tolist()):
+            counts[row] = counts.get(row, 0) + sign
+        if not rule.head.args and m:  # zip(*[]) yields nothing
+            counts[()] = int(batch.signs.sum())
+        return {row: c for row, c in counts.items() if c != 0}
+    if rule.udf is None:
+        matrix = np.empty((batch.num_rows, len(rule.head.args)), dtype=np.int32)
+        for i, arg in enumerate(rule.head.args):
+            if isinstance(arg, Var):
+                matrix[:, i] = batch.cols[arg.name]
+            else:
+                matrix[:, i] = interner.intern(arg)
+        from repro.db.columnar import pack_rows
+
+        if batch.num_rows == 0:
+            return {}
+        keys = pack_rows(matrix)
+        _, first, inverse = np.unique(
+            keys, return_index=True, return_inverse=True
+        )
+        sums = np.rint(
+            np.bincount(inverse, weights=batch.signs.astype(np.float64))
+        ).astype(np.int64)
+        keep = np.flatnonzero(sums)
+        rows = matrix[first[keep]]
+        decoded = [
+            interner.decode(rows[:, i]) for i in range(rows.shape[1])
+        ]
+        if not decoded:
+            return {(): int(sums[keep][0])} if len(keep) else {}
+        return dict(zip(zip(*decoded), sums[keep].tolist()))
+    decoded = {
+        name: interner.decode(col) for name, col in batch.cols.items()
+    }
+    names = list(decoded)
+    signs = batch.signs.tolist()
+    counts: dict = {}
+    for i in range(batch.num_rows):
+        binding = {name: decoded[name][i] for name in names}
+        for expanded in rule.expanded_bindings(binding):
+            row = rule.head_tuple(expanded)
+            counts[row] = counts.get(row, 0) + signs[i]
+    return {row: c for row, c in counts.items() if c != 0}
+
+
 def apply_rule_bindings(
     rule: InferenceRule,
     semantics,
@@ -67,6 +226,7 @@ def apply_rule_bindings(
     weights,
     records: dict,
     touched_keys: set | None = None,
+    accumulator: "RuleDeltaAccumulator | None" = None,
 ) -> None:
     """Fold signed rule bindings into the factor records.
 
@@ -74,6 +234,8 @@ def apply_rule_bindings(
     to the record keyed by ``(rule, head var, weight id)``; negative signs
     retract a previously added grounding.  ``touched_keys``, when given,
     collects the record keys that changed (incremental bookkeeping).
+    With an ``accumulator``, signed groundings are netted there instead
+    of mutating records (the delta-subset summation path).
     """
     variable_atoms = [
         (pos, atom)
@@ -82,17 +244,7 @@ def apply_rule_bindings(
     ]
     for binding, sign in signed_bindings:
         head_key = (rule.head.pred, rule.head_tuple(binding))
-        head_var = variable_of.get(head_key)
-        if head_var is None:
-            raise KeyError(
-                f"inference rule {rule.name!r} derives head tuple "
-                f"{head_key} that is not a grounded variable; add a "
-                "candidate (derivation) rule that creates it"
-            )
         weight_key = rule.weight.key_for(rule.name, binding)
-        weight_id = weights.intern(
-            weight_key, initial=rule.weight.value, fixed=rule.weight.fixed
-        )
         literals = tuple(
             (
                 variable_of[(atom.pred, _instantiate(atom, binding))],
@@ -100,30 +252,525 @@ def apply_rule_bindings(
             )
             for pos, atom in variable_atoms
         )
-        record_key = (rule.name, head_var, weight_id)
+        if accumulator is not None:
+            head_var = variable_of.get(head_key)
+            if head_var is None:
+                raise KeyError(
+                    f"inference rule {rule.name!r} derives head tuple "
+                    f"{head_key} that is not a grounded variable; add a "
+                    "candidate (derivation) rule that creates it"
+                )
+            weight_id = weights.intern(
+                weight_key, initial=rule.weight.value, fixed=rule.weight.fixed
+            )
+            accumulator.add(head_var, weight_id, literals, sign)
+            continue
+        _fold_grounding(
+            rule, semantics, head_key, weight_key, literals, sign,
+            variable_of, weights, records, touched_keys,
+        )
+
+
+class VariableCodeResolver:
+    """Vectorized ``(variable relation, code row) → variable id`` maps.
+
+    Built per ground / per update from ``variable_of``; per-relation maps
+    (packed code bytes → id) are constructed lazily, so small updates
+    whose batches take the row-at-a-time path never pay for them.
+    """
+
+    def __init__(self, interner, variable_of: dict) -> None:
+        self._interner = interner
+        self._variable_of = variable_of
+        self._maps: dict = {}
+
+    def _map(self, pred: str) -> dict:
+        mp = self._maps.get(pred)
+        if mp is None:
+            from repro.db.columnar import pack_rows
+
+            rows, vids = [], []
+            for (rel, row), vid in self._variable_of.items():
+                if rel == pred:
+                    rows.append(row)
+                    vids.append(vid)
+            keys = (
+                pack_rows(self._interner.encode_rows(rows)).tolist()
+                if rows
+                else []
+            )
+            mp = dict(zip(keys, vids))
+            self._maps[pred] = mp
+        return mp
+
+    def _key_of(self, row: tuple):
+        from repro.db.columnar import pack_row
+
+        intern = self._interner.intern
+        return pack_row([intern(v) for v in row])
+
+    def add(self, pred: str, row: tuple, vid: int) -> None:
+        """Keep an already-built map in sync with a new variable."""
+        mp = self._maps.get(pred)
+        if mp is not None:
+            mp[self._key_of(row)] = vid
+
+    def discard(self, pred: str, row: tuple) -> None:
+        mp = self._maps.get(pred)
+        if mp is not None:
+            mp.pop(self._key_of(row), None)
+
+    def resolve(
+        self, rule_name: str, pred: str, matrix, is_head: bool = True
+    ) -> np.ndarray:
+        """Variable ids for every code row of ``matrix``.
+
+        Missing rows raise the same errors as the row-at-a-time path:
+        the "not a grounded variable" diagnosis for head atoms, a plain
+        ``KeyError`` with the missing key for body literal atoms.
+        """
+        from repro.db.columnar import pack_rows
+
+        mp = self._map(pred)
+        keys = pack_rows(matrix).tolist()
+        try:
+            return np.fromiter(
+                (mp[k] for k in keys), dtype=np.int64, count=len(keys)
+            )
+        except KeyError:
+            for i, key in enumerate(keys):
+                if key not in mp:
+                    row = tuple(self._interner.decode(matrix[i]))
+                    if not is_head:
+                        raise KeyError((pred, row)) from None
+                    raise KeyError(
+                        f"inference rule {rule_name!r} derives head tuple "
+                        f"{(pred, row)} that is not a grounded variable; "
+                        "add a candidate (derivation) rule that creates it"
+                    ) from None
+            raise
+
+
+def _atom_code_matrix(batch, interner, args) -> np.ndarray:
+    """``(m, len(args))`` code matrix of an atom under a binding batch."""
+    matrix = np.empty((batch.num_rows, len(args)), dtype=np.int32)
+    for i, arg in enumerate(args):
+        if isinstance(arg, Var):
+            matrix[:, i] = batch.cols[arg.name]
+        else:
+            matrix[:, i] = interner.intern(arg)
+    return matrix
+
+
+#: Batches below this take the row-at-a-time fold (resolver maps would
+#: cost more to build than they save).
+_BATCH_VECTOR_THRESHOLD = 64
+
+
+def apply_rule_binding_batch(
+    rule: InferenceRule,
+    semantics,
+    batch,
+    interner,
+    variable_relations,
+    variable_of: dict,
+    weights,
+    records: dict,
+    touched_keys: set | None = None,
+    resolver: VariableCodeResolver | None = None,
+    accumulator: "RuleDeltaAccumulator | None" = None,
+) -> None:
+    """Batched :func:`apply_rule_bindings` over a columnar binding batch.
+
+    Large batches ground without per-binding Python: head and literal
+    variable ids resolve through packed-code maps, weight keys intern
+    once per *distinct* tied-value row, and groundings fold into records
+    one ``(head, weight)`` group at a time.  Small batches decode the
+    code columns once and fold row-at-a-time.  With an ``accumulator``,
+    signed groundings net there instead of mutating records.
+    """
+    m = batch.num_rows
+    if m == 0:
+        return
+    if m >= _BATCH_VECTOR_THRESHOLD:
+        if resolver is None:
+            resolver = VariableCodeResolver(interner, variable_of)
+        _apply_batch_vectorized(
+            rule, semantics, batch, interner, variable_relations,
+            weights, records, touched_keys, resolver, accumulator,
+        )
+        return
+    decoded: dict = {}
+
+    def column(name):
+        col = decoded.get(name)
+        if col is None:
+            col = decoded[name] = interner.decode(batch.cols[name])
+        return col
+
+    head_cols = tuple(
+        column(a.name) if isinstance(a, Var) else None for a in rule.head.args
+    )
+    head_args = rule.head.args
+    head_pred = rule.head.pred
+    tied_cols = tuple(column(v) for v in rule.weight.tied_on)
+    rule_name = rule.name
+    literal_atoms = []
+    for pos, atom in enumerate(rule.body):
+        if atom.pred not in variable_relations:
+            continue
+        arg_cols = tuple(
+            (column(a.name), None) if isinstance(a, Var) else (None, a)
+            for a in atom.args
+        )
+        literal_atoms.append(
+            (atom.pred, arg_cols, pos not in rule.negated_positions)
+        )
+    signs = batch.signs.tolist()
+    # Insertions fold before retractions so a batch that both adds and
+    # removes the same grounding never transiently under-runs a record.
+    row_order = range(m)
+    if any(s < 0 for s in signs) and any(s > 0 for s in signs):
+        row_order = sorted(row_order, key=lambda i: signs[i] < 0)
+    for i in row_order:
+        head_key = (
+            head_pred,
+            tuple(
+                col[i] if col is not None else arg
+                for col, arg in zip(head_cols, head_args)
+            ),
+        )
+        weight_key = (rule_name, tuple(col[i] for col in tied_cols))
+        literals = tuple(
+            (
+                variable_of[
+                    (
+                        pred,
+                        tuple(
+                            col[i] if col is not None else const
+                            for col, const in arg_cols
+                        ),
+                    )
+                ],
+                positive,
+            )
+            for pred, arg_cols, positive in literal_atoms
+        )
+        if accumulator is not None:
+            head_var = variable_of.get(head_key)
+            if head_var is None:
+                raise KeyError(
+                    f"inference rule {rule_name!r} derives head tuple "
+                    f"{head_key} that is not a grounded variable; add a "
+                    "candidate (derivation) rule that creates it"
+                )
+            weight_id = weights.intern(
+                weight_key, initial=rule.weight.value, fixed=rule.weight.fixed
+            )
+            accumulator.add(head_var, weight_id, literals, signs[i])
+            continue
+        _fold_grounding(
+            rule, semantics, head_key, weight_key, literals, signs[i],
+            variable_of, weights, records, touched_keys,
+        )
+
+
+def _apply_batch_vectorized(
+    rule, semantics, batch, interner, variable_relations,
+    weights, records, touched_keys, resolver: VariableCodeResolver,
+    accumulator: "RuleDeltaAccumulator | None" = None,
+) -> None:
+    """Group a whole binding batch into factor records with numpy.
+
+    Per-row Python is reduced to zipping pre-resolved literal id lists;
+    head resolution, weight interning, and record grouping all run over
+    arrays.  Signed batches fold insertions before retractions within
+    each record group (same invariant as the row-at-a-time path).
+    """
+    import itertools
+
+    m = batch.num_rows
+    has_literals = any(
+        atom.pred in variable_relations for atom in rule.body
+    )
+    if (
+        not has_literals
+        and accumulator is None
+        and touched_keys is None
+        and bool(np.all(batch.signs > 0))
+    ):
+        # Frequency-rule fast path (no body literals — every grounding
+        # is the empty conjunction): group on the raw (head, tied) code
+        # rows first, then resolve heads and intern weights once per
+        # *group*; each record's groundings are just () × count.
+        from repro.db.columnar import pack_rows
+
+        head_width = len(rule.head.args)
+        matrix = np.empty(
+            (m, head_width + len(rule.weight.tied_on)), dtype=np.int32
+        )
+        for i, arg in enumerate(rule.head.args):
+            if isinstance(arg, Var):
+                matrix[:, i] = batch.cols[arg.name]
+            else:
+                matrix[:, i] = interner.intern(arg)
+        for i, name in enumerate(rule.weight.tied_on):
+            matrix[:, head_width + i] = batch.cols[name]
+        _, first, counts = np.unique(
+            pack_rows(matrix), return_index=True, return_counts=True
+        )
+        head_vids = resolver.resolve(
+            rule.name, rule.head.pred, matrix[first][:, :head_width]
+        ).tolist()
+        counts = counts.tolist()
+        rule_name = rule.name
+        initial, fixed = rule.weight.value, rule.weight.fixed
+        if rule.weight.tied_on:
+            tied_rows = matrix[first][:, head_width:]
+            wids = [
+                weights.intern(
+                    (rule_name, tuple(interner.decode(tied_rows[gi]))),
+                    initial=initial,
+                    fixed=fixed,
+                )
+                for gi in range(len(first))
+            ]
+        else:
+            wid = weights.intern((rule_name, ()), initial=initial, fixed=fixed)
+            wids = [wid] * len(first)
+        for gi in range(len(first)):
+            record_key = (rule_name, head_vids[gi], wids[gi])
+            record = records.get(record_key)
+            if record is None:
+                records[record_key] = FactorRecord(
+                    rule_name=rule_name,
+                    head_var=head_vids[gi],
+                    weight_id=wids[gi],
+                    semantics=semantics,
+                    groundings=[()] * counts[gi],
+                )
+            else:
+                record.groundings.extend([()] * counts[gi])
+        return
+    # Head variable ids (vectorized resolve, same KeyError contract).
+    head_vids = resolver.resolve(
+        rule.name,
+        rule.head.pred,
+        _atom_code_matrix(batch, interner, rule.head.args),
+    )
+    # Weight ids: intern once per distinct tied-value row.
+    if rule.weight.tied_on:
+        tied = np.empty((m, len(rule.weight.tied_on)), dtype=np.int32)
+        for i, name in enumerate(rule.weight.tied_on):
+            tied[:, i] = batch.cols[name]
+        from repro.db.columnar import pack_rows
+
+        _, first, inverse = np.unique(
+            pack_rows(tied), return_index=True, return_inverse=True
+        )
+        distinct_wids = np.empty(len(first), dtype=np.int64)
+        for gi, row_i in enumerate(first.tolist()):
+            key = (rule.name, tuple(interner.decode(tied[row_i])))
+            distinct_wids[gi] = weights.intern(
+                key, initial=rule.weight.value, fixed=rule.weight.fixed
+            )
+        wids = distinct_wids[inverse]
+    else:
+        wid = weights.intern(
+            (rule.name, ()), initial=rule.weight.value, fixed=rule.weight.fixed
+        )
+        wids = np.full(m, wid, dtype=np.int64)
+    # Literal tuples: one (vid, positive) pair list per variable atom,
+    # zipped row-wise into grounding tuples.
+    pair_lists = []
+    for pos, atom in enumerate(rule.body):
+        if atom.pred not in variable_relations:
+            continue
+        vids = resolver.resolve(
+            rule.name,
+            atom.pred,
+            _atom_code_matrix(batch, interner, atom.args),
+            is_head=False,
+        )
+        positive = pos not in rule.negated_positions
+        pair_lists.append(
+            list(zip(vids.tolist(), itertools.repeat(positive)))
+        )
+    if pair_lists:
+        literals = list(zip(*pair_lists))
+    else:
+        literals = [()] * m
+    if accumulator is not None:
+        add = accumulator.add
+        head_list = head_vids.tolist()
+        wid_list = wids.tolist()
+        signs = batch.signs.tolist()
+        for i in range(m):
+            add(head_list[i], wid_list[i], literals[i], signs[i])
+        return
+    # Group rows by (head, weight) and fold each group into its record.
+    group_codes = (head_vids << 31) | wids
+    head_list = head_vids.tolist()
+    wid_list = wids.tolist()
+    all_positive = bool(np.all(batch.signs > 0))
+    rule_name = rule.name
+    order = np.argsort(group_codes, kind="stable")
+    ordered = group_codes[order]
+    boundaries = np.flatnonzero(ordered[1:] != ordered[:-1])
+    if all_positive and touched_keys is None and len(boundaries) + 1 == m:
+        # Full-ground fast path: every binding is its own record (no
+        # grouping, no multiset) — the dominant shape for per-binding
+        # weight tying.
+        for i in range(m):
+            record_key = (rule_name, head_list[i], wid_list[i])
+            record = records.get(record_key)
+            if record is None:
+                records[record_key] = FactorRecord(
+                    rule_name=rule_name,
+                    head_var=head_list[i],
+                    weight_id=wid_list[i],
+                    semantics=semantics,
+                    groundings=[literals[i]],
+                )
+            else:
+                record.groundings.append(literals[i])
+        return
+    starts = np.concatenate(([0], boundaries + 1, [m])).tolist()
+    order = order.tolist()
+    literals_ordered = [literals[i] for i in order]
+    signs = batch.signs.tolist()
+    for gi in range(len(starts) - 1):
+        lo, hi = starts[gi], starts[gi + 1]
+        row0 = order[lo]
+        record_key = (rule_name, head_list[row0], wid_list[row0])
         record = records.get(record_key)
         if record is None:
             record = FactorRecord(
-                rule_name=rule.name,
-                head_var=head_var,
-                weight_id=weight_id,
+                rule_name=rule_name,
+                head_var=record_key[1],
+                weight_id=record_key[2],
                 semantics=semantics,
             )
+            if touched_keys is not None:  # incremental: counted multiset
+                record.groundings = GroundingMultiset()
             records[record_key] = record
         if touched_keys is not None:
             touched_keys.add(record_key)
-        if sign > 0:
+        groundings = record.groundings
+        if all_positive:
+            groundings.extend(literals_ordered[lo:hi])
+            continue
+        removals = []
+        for oi in range(lo, hi):
+            i = order[oi]
+            sign = signs[i]
+            if sign > 0:
+                for _ in range(sign):
+                    groundings.append(literals_ordered[oi])
+            else:
+                removals.append(oi)
+        for oi in removals:
+            i = order[oi]
+            for _ in range(-signs[i]):
+                groundings.remove(literals_ordered[oi])
+
+
+def _fold_grounding(
+    rule, semantics, head_key, weight_key, literals, sign,
+    variable_of, weights, records, touched_keys,
+) -> None:
+    """Fold one signed grounding into its ``(rule, head, weight)`` record."""
+    head_var = variable_of.get(head_key)
+    if head_var is None:
+        raise KeyError(
+            f"inference rule {rule.name!r} derives head tuple "
+            f"{head_key} that is not a grounded variable; add a "
+            "candidate (derivation) rule that creates it"
+        )
+    weight_id = weights.intern(
+        weight_key, initial=rule.weight.value, fixed=rule.weight.fixed
+    )
+    _fold_into_record(
+        rule.name, semantics, head_var, weight_id, literals, sign,
+        records, touched_keys,
+    )
+
+
+def _fold_into_record(
+    rule_name, semantics, head_var, weight_id, literals, count,
+    records, touched_keys,
+) -> None:
+    record_key = (rule_name, head_var, weight_id)
+    record = records.get(record_key)
+    if record is None:
+        record = FactorRecord(
+            rule_name=rule_name,
+            head_var=head_var,
+            weight_id=weight_id,
+            semantics=semantics,
+        )
+        if touched_keys is not None:  # incremental: counted multiset
+            record.groundings = GroundingMultiset()
+        records[record_key] = record
+    if touched_keys is not None:
+        touched_keys.add(record_key)
+    if count > 0:
+        for _ in range(count):
             record.groundings.append(literals)
-        else:
+    else:
+        for _ in range(-count):
             record.groundings.remove(literals)
 
 
-class Grounder:
-    """Grounds ``program`` over ``db`` from scratch."""
+class RuleDeltaAccumulator:
+    """Nets one rule's signed groundings across all delta subset terms.
 
-    def __init__(self, program: Program, db: Database) -> None:
+    The counting identity ``Δ(A₁⋈…⋈A_k) = Σ_S ±(⋈Δ/⋈new)`` only
+    guarantees non-negative grounding counts for the *sum*; an
+    individual subset term may retract a grounding that a later term
+    re-inserts.  Folding term-by-term can therefore transiently
+    under-run a record (a latent crash in the pre-columnar engine);
+    accumulating the net per ``(head, weight, literals)`` and flushing
+    once — insertions before retractions — is always safe.
+    """
+
+    def __init__(self) -> None:
+        self._net: dict = {}
+
+    def add(self, head_var, weight_id, literals, count) -> None:
+        key = (head_var, weight_id, literals)
+        total = self._net.get(key, 0) + count
+        if total:
+            self._net[key] = total
+        else:
+            self._net.pop(key, None)
+
+    def flush(self, rule_name, semantics, records, touched_keys) -> None:
+        entries = sorted(self._net.items(), key=lambda kv: kv[1] < 0)
+        self._net = {}
+        for (head_var, weight_id, literals), count in entries:
+            _fold_into_record(
+                rule_name, semantics, head_var, weight_id, literals,
+                count, records, touched_keys,
+            )
+
+
+class Grounder:
+    """Grounds ``program`` over ``db`` from scratch.
+
+    ``engine`` selects the join engine: ``"columnar"`` (vectorized plans,
+    the default) or ``"legacy"`` (tuple-at-a-time slow path / oracle).
+    """
+
+    def __init__(
+        self, program: Program, db: Database, engine: str = "columnar"
+    ) -> None:
+        if engine not in _ENGINES:
+            raise ValueError(f"unknown grounding engine {engine!r}")
         self.program = program
         self.db = db
+        self.engine = engine
+        self._resolver: VariableCodeResolver | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -131,18 +778,27 @@ class Grounder:
         """Evaluate all derivation rules, accumulating derivation counts."""
         for rule in self.program.stratified_derivation_rules():
             relation = self.db.relation(rule.head.pred)
-            for binding, sign in evaluate_query(self.db, rule.body):
-                for expanded in rule.expanded_bindings(binding):
-                    relation.insert(rule.head_tuple(expanded), count=sign)
+            if self.engine == "columnar":
+                batch = execute_body_columnar(self.db, rule.body)
+                relation.bulk_insert_counts(
+                    signed_head_counts(self.db, rule, batch)
+                )
+            else:
+                for binding, sign in evaluate_query(self.db, rule.body):
+                    for expanded in rule.expanded_bindings(binding):
+                        relation.insert(rule.head_tuple(expanded), count=sign)
 
     def create_variables(self, graph: FactorGraph) -> tuple:
         variable_of: dict = {}
         tuple_of: dict = {}
         for relation_name in sorted(self.program.variable_relations):
-            for row in sorted(self.db.relation(relation_name).rows()):
-                vid = graph.add_variable(name=(relation_name, row))
-                variable_of[(relation_name, row)] = vid
-                tuple_of[vid] = (relation_name, row)
+            names = [
+                (relation_name, row)
+                for row in sorted(self.db.relation(relation_name).rows())
+            ]
+            vids = graph.add_named_variables(names)
+            variable_of.update(zip(names, vids))
+            tuple_of.update(zip(vids, names))
         return variable_of, tuple_of
 
     def apply_evidence(self, graph: FactorGraph, variable_of: dict) -> None:
@@ -165,9 +821,24 @@ class Grounder:
         sources=None,
     ) -> None:
         """Ground one inference rule; ``sources`` supports delta joins."""
+        semantics = self.program.semantics_of(rule)
+        if self.engine == "columnar" and sources is None:
+            batch = execute_body_columnar(self.db, rule.body)
+            apply_rule_binding_batch(
+                rule,
+                semantics,
+                batch,
+                self.db.columnar.interner,
+                self.program.variable_relations,
+                variable_of,
+                graph.weights,
+                records,
+                resolver=self._resolver,
+            )
+            return
         apply_rule_bindings(
             rule,
-            self.program.semantics_of(rule),
+            semantics,
             evaluate_query(self.db, rule.body, sources=sources),
             self.program.variable_relations,
             variable_of,
@@ -184,14 +855,27 @@ class Grounder:
         variable_of, tuple_of = self.create_variables(graph)
         self.apply_evidence(graph, variable_of)
         records: dict = {}
+        if self.engine == "columnar":
+            # One resolver for the whole ground: its per-relation packed
+            # code maps are shared across every inference rule.
+            self._resolver = VariableCodeResolver(
+                self.db.columnar.interner, variable_of
+            )
         for rule in self.program.inference_rules:
             self.ground_inference_rule(rule, graph, variable_of, records)
+        self._resolver = None
+        # Trusted frozen-factor append: records hold resolved int ids and
+        # coerced semantics; validate() below checks the result.
+        factors = graph.factors
         for record in records.values():
-            record.factor_index = graph.add_rule_factor(
-                record.weight_id,
-                record.head_var,
-                record.groundings,
-                record.semantics,
+            record.factor_index = len(factors)
+            factors.append(
+                RuleFactor(
+                    weight_id=record.weight_id,
+                    head=record.head_var,
+                    groundings=tuple(record.groundings),
+                    semantics=record.semantics,
+                )
             )
         graph.validate()
         return GroundingResult(

@@ -34,8 +34,14 @@ from repro.graph.factor_graph import FactorGraph, RuleFactor
 from repro.grounding.grounder import (
     FactorRecord,
     Grounder,
+    GroundingMultiset,
     GroundingResult,
+    RuleDeltaAccumulator,
+    VariableCodeResolver,
+    apply_rule_binding_batch,
     apply_rule_bindings,
+    execute_body_columnar,
+    signed_head_counts,
 )
 
 
@@ -77,6 +83,35 @@ def _signed_delta_bindings(db: Database, body, transitions: dict):
                 yield binding, sign * parity
 
 
+def _signed_delta_batches(db: Database, body, transitions: dict, batches: dict):
+    """Columnar counterpart of :func:`_signed_delta_bindings`.
+
+    Yields ``(BindingBatch, parity)`` per non-empty subset S of changed
+    body positions, driving the cached join plan for (body, S) with the
+    per-relation delta batches (``batches`` memoizes them across rules
+    within one update, so their ephemeral sort indexes are reused).
+    """
+    changed_positions = [
+        i
+        for i, atom in enumerate(body)
+        if transitions.get(atom.pred)
+    ]
+    store = db.columnar
+    for size in range(1, len(changed_positions) + 1):
+        parity = 1 if size % 2 == 1 else -1
+        for subset in itertools.combinations(changed_positions, size):
+            sources = {}
+            for i in subset:
+                pred = body[i].pred
+                batch = batches.get(pred)
+                if batch is None:
+                    batch = batches[pred] = store.delta_batch(
+                        transitions[pred]
+                    )
+                sources[i] = batch
+            yield execute_body_columnar(db, body, sources=sources), parity
+
+
 class IncrementalGrounder:
     """Owns the current grounding and evolves it under updates.
 
@@ -86,24 +121,54 @@ class IncrementalGrounder:
     graph, and advances the grounder's internal state.
     """
 
-    def __init__(self, program: Program, db: Database, grounding: GroundingResult):
+    def __init__(
+        self,
+        program: Program,
+        db: Database,
+        grounding: GroundingResult,
+        engine: str = "columnar",
+    ):
+        if engine not in ("columnar", "legacy"):
+            raise ValueError(f"unknown grounding engine {engine!r}")
+        self.engine = engine
         self.program = program
         self.db = db
         self.graph = grounding.graph
         self.variable_of = grounding.variable_of
         self.tuple_of = grounding.tuple_of
         self.records = grounding.factor_records
+        # Promote freshly grounded records (plain lists) to counted
+        # multisets so retraction deltas fold in O(|Δ|), not O(n) each.
+        for record in self.records.values():
+            if not isinstance(record.groundings, GroundingMultiset):
+                record.groundings = GroundingMultiset(record.groundings)
         self._records_by_var: dict = {}
         for key, record in self.records.items():
             for var in self._record_vars(record):
                 self._records_by_var.setdefault(var, set()).add(key)
+        #: factor index -> record key, maintained across deltas so
+        #: re-indexing after a compaction is one list pass, not an
+        #: O(#factors) mapping dict + full registry walk.
+        self._factor_keys: list = [None] * self.graph.num_factors
+        for key, record in self.records.items():
+            if record.factor_index >= 0:
+                self._factor_keys[record.factor_index] = key
         self._compiled = None
         self._compact_threshold = 0.25
+        #: persistent vectorized (relation, row) → vid maps; kept in sync
+        #: as variables appear/disappear so updates never rebuild them.
+        self._code_resolver = (
+            VariableCodeResolver(db.columnar.interner, self.variable_of)
+            if engine == "columnar"
+            else None
+        )
 
     @classmethod
-    def from_scratch(cls, program: Program, db: Database) -> "IncrementalGrounder":
-        grounding = Grounder(program, db).ground()
-        return cls(program, db, grounding)
+    def from_scratch(
+        cls, program: Program, db: Database, engine: str = "columnar"
+    ) -> "IncrementalGrounder":
+        grounding = Grounder(program, db, engine=engine).ground()
+        return cls(program, db, grounding, engine=engine)
 
     def bind_compiled(self, compiled, compact_threshold: float = 0.25) -> None:
         """Keep a :class:`CompiledFactorGraph` in sync with this grounder.
@@ -188,25 +253,51 @@ class IncrementalGrounder:
 
         # ---- 3. Propagate through derivation rules in stratified order.
         all_transitions = dict(base_transitions)
+        columnar = self.engine == "columnar"
+        #: per-relation delta batches, memoized across rules in this
+        #: update; invalidated whenever a relation's transitions change.
+        delta_batches: dict = {}
         rules_by_head: dict = {}
         for rule in self.program.stratified_derivation_rules():
             rules_by_head.setdefault(rule.head.pred, []).append(rule)
         for head_name in self._derived_relation_order():
             head_delta: dict = {}
             for rule in rules_by_head.get(head_name, ()):
-                if rule.name in new_derivation_names:
+                is_new = rule.name in new_derivation_names
+                changed = any(
+                    all_transitions.get(atom.pred) for atom in rule.body
+                )
+                if not is_new and not changed:
+                    continue
+                if columnar:
+                    if is_new:
+                        contributions = [
+                            (
+                                execute_body_columnar(self.db, rule.body),
+                                1,
+                            )
+                        ]
+                    else:
+                        contributions = _signed_delta_batches(
+                            self.db, rule.body, all_transitions, delta_batches
+                        )
+                    for batch, parity in contributions:
+                        for row, count in signed_head_counts(
+                            self.db, rule, batch
+                        ).items():
+                            head_delta[row] = (
+                                head_delta.get(row, 0) + parity * count
+                            )
+                    continue
+                if is_new:
                     signed = (
                         (b, s)
                         for b, s in evaluate_query(self.db, rule.body)
                     )
-                elif any(
-                    all_transitions.get(atom.pred) for atom in rule.body
-                ):
+                else:
                     signed = _signed_delta_bindings(
                         self.db, rule.body, all_transitions
                     )
-                else:
-                    continue
                 for binding, sign in signed:
                     for expanded in rule.expanded_bindings(binding):
                         head_row = rule.head_tuple(expanded)
@@ -222,6 +313,7 @@ class IncrementalGrounder:
                 merged = all_transitions.setdefault(head_name, {})
                 for row, sign in visible.items():
                     merged[row] = merged.get(row, 0) + sign
+                delta_batches.pop(head_name, None)  # batch now stale
 
         # ---- 4. Variable relation transitions -> ∆V.  Removed tuples stay
         # resolvable in ``variable_of`` until the factor deltas are joined
@@ -239,6 +331,8 @@ class IncrementalGrounder:
                     vid = self.graph.num_vars + offset
                     self.variable_of[(name, row)] = vid
                     self.tuple_of[vid] = (name, row)
+                    if self._code_resolver is not None:
+                        self._code_resolver.add(name, row, vid)
                     new_var_offset[vid] = offset
                     # A candidate appearing after its labels: pick up
                     # pre-existing evidence rows.
@@ -273,26 +367,68 @@ class IncrementalGrounder:
             new_rule_names.add(rule.name)
         new_weight_entries: list = []
         weights = _DeltaWeightView(self.graph.weights, new_weight_entries)
+        # Persistent across updates; per-relation maps build lazily on
+        # the first large batch and are maintained in O(|ΔV|) after.
+        resolver = self._code_resolver
         for rule in self.program.inference_rules:
             if rule.name in removed_rule_names:
                 continue
-            if rule.name in new_rule_names:
-                signed = evaluate_query(self.db, rule.body)
-            elif any(all_transitions.get(atom.pred) for atom in rule.body):
-                signed = _signed_delta_bindings(
-                    self.db, rule.body, all_transitions
-                )
-            else:
+            is_new = rule.name in new_rule_names
+            changed = any(
+                all_transitions.get(atom.pred) for atom in rule.body
+            )
+            if not is_new and not changed:
                 continue
-            apply_rule_bindings(
-                rule,
-                self.program.semantics_of(rule),
-                signed,
-                self.program.variable_relations,
-                self.variable_of,
-                weights,
-                self.records,
-                touched_keys=touched_keys,
+            semantics = self.program.semantics_of(rule)
+            # Net the rule's delta across all subset terms before folding:
+            # an individual ±(⋈Δ/⋈new) term may retract a grounding that a
+            # later term re-inserts (see RuleDeltaAccumulator).
+            accumulator = RuleDeltaAccumulator()
+            if columnar:
+                if is_new:
+                    contributions = [
+                        (execute_body_columnar(self.db, rule.body), 1)
+                    ]
+                else:
+                    contributions = _signed_delta_batches(
+                        self.db, rule.body, all_transitions, delta_batches
+                    )
+                for batch, parity in contributions:
+                    if parity != 1:
+                        batch.signs = batch.signs * parity
+                    apply_rule_binding_batch(
+                        rule,
+                        semantics,
+                        batch,
+                        self.db.columnar.interner,
+                        self.program.variable_relations,
+                        self.variable_of,
+                        weights,
+                        self.records,
+                        touched_keys=touched_keys,
+                        resolver=resolver,
+                        accumulator=accumulator,
+                    )
+            else:
+                if is_new:
+                    signed = evaluate_query(self.db, rule.body)
+                else:
+                    signed = _signed_delta_bindings(
+                        self.db, rule.body, all_transitions
+                    )
+                apply_rule_bindings(
+                    rule,
+                    semantics,
+                    signed,
+                    self.program.variable_relations,
+                    self.variable_of,
+                    weights,
+                    self.records,
+                    touched_keys=touched_keys,
+                    accumulator=accumulator,
+                )
+            accumulator.flush(
+                rule.name, semantics, self.records, touched_keys
             )
         delta.new_weight_entries = new_weight_entries
         # 6c. Records whose head variable disappeared are retracted; their
@@ -303,6 +439,8 @@ class IncrementalGrounder:
                     removed_record_keys.add(key)
             name_row = self.tuple_of.pop(var)
             del self.variable_of[name_row]
+            if self._code_resolver is not None:
+                self._code_resolver.discard(*name_row)
 
         # ---- 7. Convert record changes into (∆F): every touched surviving
         # record is rebuilt (old factor removed, new factor appended).
@@ -331,7 +469,7 @@ class IncrementalGrounder:
                 RuleFactor(
                     weight_id=record.weight_id,
                     head=record.head_var,
-                    groundings=tuple(record.groundings),
+                    groundings=record.groundings.as_tuple(),
                     semantics=record.semantics,
                 )
             )
@@ -344,8 +482,11 @@ class IncrementalGrounder:
         for var in removed_vars:
             delta.evidence_updates[var] = False
 
-        # ---- 8. Apply and re-index.
-        updated = delta.apply(self.graph)
+        # ---- 8. Apply and re-index.  The O(graph) invariant walk is
+        # skipped: the grounder constructs deltas from resolved variable
+        # ids and interned weights, and _reindex re-verifies the factor
+        # registry whenever factors were removed.
+        updated = delta.apply(self.graph, validate=False)
         self._reindex(delta, appended, updated)
         patch = None
         if self._compiled is not None:
@@ -407,24 +548,40 @@ class IncrementalGrounder:
                         delta.evidence_updates[vid] = value
 
     def _reindex(self, delta: FactorGraphDelta, appended, updated: FactorGraph) -> None:
-        """Recompute record factor indexes after a delta application."""
+        """Recompute record factor indexes after a delta application.
+
+        With no removals, surviving indexes are untouched and only the
+        appended records are assigned — O(|Δ|).  Removals compact the
+        factor list: the maintained ``_factor_keys`` table is compacted
+        in one list pass and indexes are reassigned from the first
+        removed position onward.  Verification is scoped to the touched
+        (appended) records — survivors keep positions by construction.
+        """
         removed = delta.removed_factor_ids
-        old_count = self.graph.num_factors
-        mapping = {}
-        new_index = 0
-        for old_index in range(old_count):
-            if old_index in removed:
-                continue
-            mapping[old_index] = new_index
-            new_index += 1
-        for record in self.records.values():
-            if record.factor_index in mapping:
-                record.factor_index = mapping[record.factor_index]
-            elif record.factor_index >= 0 and record.factor_index not in removed:
-                raise AssertionError("record index lost during reindex")
-        for offset, key in enumerate(appended):
-            self.records[key].factor_index = new_index + offset
-        for record in self.records.values():
+        records = self.records
+        if removed:
+            first = min(removed)
+            keys = self._factor_keys
+            keys = keys[:first] + [
+                keys[index]
+                for index in range(first, len(keys))
+                if index not in removed
+            ]
+            keys.extend(appended)
+            self._factor_keys = keys
+            for index in range(first, len(keys)):
+                record = records.get(keys[index])
+                if record is not None:
+                    record.factor_index = index
+        else:
+            base = len(self._factor_keys)
+            self._factor_keys.extend(appended)
+            for offset, key in enumerate(appended):
+                records[key].factor_index = base + offset
+        if len(self._factor_keys) != updated.num_factors:
+            raise AssertionError("factor registry out of sync")
+        for key in appended:
+            record = records[key]
             factor = updated.factors[record.factor_index]
             if not isinstance(factor, RuleFactor) or factor.head != record.head_var:
                 raise AssertionError("factor registry out of sync")

@@ -149,6 +149,7 @@ def build_pipeline(
     scale: float = 1.0,
     semantics="ratio",
     seed: int = 0,
+    engine: str = "columnar",
 ) -> KBCPipeline:
     """Generate the corpus and wire up the pipeline for ``spec``."""
     corpus = generate_corpus(spec.corpus_config(scale=scale, seed=seed))
@@ -157,4 +158,5 @@ def build_pipeline(
         semantics=semantics,
         i1_style=spec.i1_style,
         seed=seed,
+        engine=engine,
     )

@@ -70,6 +70,25 @@ class TestRelation:
         # Misses and hits return the same type (tuple), like rows().
         assert rel.lookup((0, 2), (9, 9)) == ()
 
+    def test_bulk_insert_counts_matches_inserts(self):
+        rel = Relation("R", ("a", "b"))
+        rel.insert(("x", 1))
+        rel.bulk_insert_counts({("x", 1): 2, ("y", 2): 1})
+        assert rel.count(("x", 1)) == 3
+        assert rel.count(("y", 2)) == 1
+
+    def test_bulk_insert_counts_atomic_on_error(self):
+        """A bad entry anywhere in the map must leave the relation
+        (and its indexes/mirrors) completely untouched."""
+        rel = Relation("R", ("a", "b"))
+        rel.lookup((0,), ("x",))  # force an index into existence
+        with pytest.raises(ValueError):
+            rel.bulk_insert_counts({("x", 1): 1, ("bad",): 1})
+        with pytest.raises(ValueError):
+            rel.bulk_insert_counts({("x", 1): 1, ("y", 2): 0})
+        assert len(rel) == 0
+        assert rel.lookup((0,), ("x",)) == ()
+
     def test_apply_delta_transitions(self):
         rel = Relation("R", ("a",))
         rel.insert(("x",))
