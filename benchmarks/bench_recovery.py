@@ -1,0 +1,309 @@
+"""Fault-recovery latency: supervised respawn, rollback+retry, degradation.
+
+A deployed KBC system's update loop (§1) is only as good as its worst
+failure: a hung sampler worker or a crash mid-update used to mean a lost
+run.  The reliability layer bounds those costs; this benchmark measures
+what they are:
+
+* ``recovery`` — a shard worker is SIGKILLed mid-sweep; the sampler
+  detects the death, respawns the worker from the shared export + patch
+  log, replays its shard session, and resends the lost sweep.  Reported
+  against the cost of a *cold restart* (rebuilding the whole sharded
+  sampler from the graph), which is what recovery replaces.
+* ``rollback`` — a fault injected inside ``RerunEngine.apply_update``
+  triggers the transactional rollback; reported per delta size as the
+  rollback (failed-call) cost and the retry cost vs a clean update.
+  Rollback work is O(touched state), so it should track the clean
+  update, not the graph.
+* ``degradation`` — per-sweep cost of the serial kernel a persistently
+  failing pool degrades to, vs the healthy sharded per-sweep cost: the
+  price of continuing at all.
+
+``--check`` runs the CI chaos smoke instead: a seeded kill-mid-sweep
+must recover to **bit-identical** chain state within the command
+timeout, and a seeded engine fault must roll back and retry to the
+never-faulted twin's marginals.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_recovery.py
+[--scale tiny|small|medium] [--check]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.core import EngineConfig, RerunEngine
+from repro.graph import FactorGraph, FactorGraphDelta
+from repro.graph.factor_graph import IsingFactor
+from repro.inference.parallel import ShardedGibbsSampler
+from repro.reliability import Fault, FaultInjected, FaultPlan, RetryPolicy, inject_faults
+
+from _helpers import emit_json
+
+SCALES = {
+    "tiny": {"num_vars": 300, "n_workers": 2, "sweeps": 6, "delta_sizes": [1, 8]},
+    "small": {
+        "num_vars": 1500,
+        "n_workers": 2,
+        "sweeps": 10,
+        "delta_sizes": [1, 16, 64],
+    },
+    "medium": {
+        "num_vars": 6000,
+        "n_workers": 4,
+        "sweeps": 10,
+        "delta_sizes": [1, 32, 256],
+    },
+}
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01)
+
+
+def build_graph(num_vars: int, seed: int = 0) -> FactorGraph:
+    """Random Ising graph with biases (§3.2.4 style)."""
+    rng = np.random.default_rng(seed)
+    fg = FactorGraph()
+    fg.add_variables(num_vars)
+    for k in range(num_vars * 2):
+        i, j = int(rng.integers(num_vars)), int(rng.integers(num_vars))
+        if i == j:
+            continue
+        wid = fg.weights.intern(("J", k), initial=float(rng.normal(0, 0.3)))
+        fg.add_ising_factor(wid, i, j)
+    bias = fg.weights.intern("h", initial=0.1)
+    for v in range(num_vars):
+        fg.add_bias_factor(bias, v)
+    return fg
+
+
+def make_delta(graph: FactorGraph, size: int, rng, step: int) -> FactorGraphDelta:
+    delta = FactorGraphDelta()
+    n = graph.num_vars
+    nw = len(graph.weights)
+    delta.new_weight_entries.append((("upd", step), float(rng.normal(0, 0.3)), False))
+    for _ in range(size):
+        i, j = int(rng.integers(n)), int(rng.integers(n))
+        if i == j:
+            j = (j + 1) % n
+        delta.new_factors.append(IsingFactor(weight_id=nw, i=i, j=j))
+    return delta
+
+
+# --------------------------------------------------------------------- #
+
+
+def measure_recovery(num_vars: int, n_workers: int, sweeps: int) -> dict:
+    """Kill-mid-sweep recovery latency vs cold sampler restart."""
+    graph = build_graph(num_vars)
+    sampler = ShardedGibbsSampler(
+        graph, n_workers=n_workers, seed=0, command_timeout=60.0, retry=FAST_RETRY
+    )
+    # Warm sweeps establish the healthy per-sweep baseline.
+    normals = []
+    for _ in range(sweeps):
+        start = time.perf_counter()
+        sampler.sweep()
+        normals.append(time.perf_counter() - start)
+    plan = FaultPlan(
+        [Fault(site="pool.send", action="kill", method="shard_sweep", worker=0, at=1)]
+    )
+    with inject_faults(plan):
+        start = time.perf_counter()
+        sampler.sweep()  # detection + respawn + session replay + resend
+        recovery_sweep = time.perf_counter() - start
+    respawns = sampler.total_respawns
+    sampler.close()
+    # The alternative recovery strategy: throw the sampler away and
+    # rebuild it from the graph (what a crash used to force).
+    start = time.perf_counter()
+    cold = ShardedGibbsSampler(graph, n_workers=n_workers, seed=0)
+    cold.sweep()
+    cold_restart = time.perf_counter() - start
+    cold.close()
+    return {
+        "num_vars": num_vars,
+        "n_workers": n_workers,
+        "normal_sweep_seconds": float(np.median(normals)),
+        "recovery_sweep_seconds": recovery_sweep,
+        "recovery_overhead_seconds": recovery_sweep - float(np.median(normals)),
+        "cold_restart_seconds": cold_restart,
+        "respawns": respawns,
+    }
+
+
+def measure_rollback(num_vars: int, delta_sizes: list) -> list:
+    """Transactional rollback + retry cost vs clean update, per |Δ|."""
+    rows = []
+    for size in delta_sizes:
+        graph = build_graph(num_vars)
+        engine = RerunEngine(
+            graph,
+            EngineConfig(inference_samples=3, burn_in=2, incremental_burn_in=2, seed=0),
+        )
+        engine.apply_update(FactorGraphDelta())  # prime the compile
+        rng = np.random.default_rng(7)
+        start = time.perf_counter()
+        engine.apply_update(make_delta(engine.current_graph, size, rng, 0))
+        clean = time.perf_counter() - start
+        delta = make_delta(engine.current_graph, size, rng, 1)
+        with inject_faults(FaultPlan([Fault(site="engine.update.inferred")])):
+            start = time.perf_counter()
+            try:
+                engine.apply_update(delta)
+            except FaultInjected:
+                pass
+            rollback = time.perf_counter() - start
+        start = time.perf_counter()
+        engine.apply_update(delta)
+        retry = time.perf_counter() - start
+        engine.close()
+        rows.append(
+            {
+                "num_vars": num_vars,
+                "delta_size": size,
+                "clean_update_seconds": clean,
+                "rollback_seconds": rollback,
+                "retry_seconds": retry,
+                "rollbacks": 1,
+            }
+        )
+    return rows
+
+
+def measure_degradation(num_vars: int, n_workers: int, sweeps: int) -> dict:
+    """Serial-kernel per-sweep cost after degradation vs healthy sharded."""
+    graph = build_graph(num_vars)
+    sampler = ShardedGibbsSampler(
+        graph, n_workers=n_workers, seed=0, command_timeout=60.0,
+        retry=RetryPolicy(max_attempts=2, base_delay=0.001),
+    )
+    parallel = []
+    for _ in range(sweeps):
+        start = time.perf_counter()
+        sampler.sweep()
+        parallel.append(time.perf_counter() - start)
+    plan = FaultPlan(
+        [
+            Fault(
+                site="pool.send",
+                action="kill",
+                method="shard_sweep",
+                worker=0,
+                at=1,
+                repeat=True,
+            )
+        ]
+    )
+    with inject_faults(plan):
+        sampler.sweep()  # exhausts the retry policy, degrades to serial
+    assert sampler.degradations == 1
+    serial = []
+    for _ in range(sweeps):
+        start = time.perf_counter()
+        sampler.sweep()
+        serial.append(time.perf_counter() - start)
+    sampler.close()
+    return {
+        "num_vars": num_vars,
+        "n_workers": n_workers,
+        "parallel_sweep_seconds": float(np.median(parallel)),
+        "degraded_serial_sweep_seconds": float(np.median(serial)),
+        "slowdown": float(np.median(serial) / max(np.median(parallel), 1e-9)),
+    }
+
+
+def run(scale: str) -> dict:
+    cfg = SCALES[scale]
+    record = {"scale": scale}
+    rec = measure_recovery(cfg["num_vars"], cfg["n_workers"], cfg["sweeps"])
+    record["recovery"] = rec
+    print(
+        f"recovery n={rec['num_vars']}: sweep {rec['normal_sweep_seconds'] * 1e3:.1f} ms, "
+        f"with kill+respawn {rec['recovery_sweep_seconds'] * 1e3:.1f} ms, "
+        f"cold restart {rec['cold_restart_seconds'] * 1e3:.1f} ms"
+    )
+    record["rollback"] = measure_rollback(cfg["num_vars"], cfg["delta_sizes"])
+    for row in record["rollback"]:
+        print(
+            f"rollback |Δ|={row['delta_size']:>4}: clean {row['clean_update_seconds'] * 1e3:.1f} ms, "
+            f"rollback {row['rollback_seconds'] * 1e3:.1f} ms, "
+            f"retry {row['retry_seconds'] * 1e3:.1f} ms"
+        )
+    deg = measure_degradation(cfg["num_vars"], cfg["n_workers"], cfg["sweeps"])
+    record["degradation"] = deg
+    print(
+        f"degradation n={deg['num_vars']}: parallel sweep "
+        f"{deg['parallel_sweep_seconds'] * 1e3:.1f} ms → serial "
+        f"{deg['degraded_serial_sweep_seconds'] * 1e3:.1f} ms "
+        f"({deg['slowdown']:.2f}x)"
+    )
+    return record
+
+
+def check() -> None:
+    """CI chaos smoke: seeded kill recovers bit-exactly; engine fault
+    rolls back and retries to the never-faulted twin's marginals."""
+    graph = build_graph(120, seed=3)
+    baseline = ShardedGibbsSampler(graph, n_workers=2, seed=5)
+    base_state = baseline.run(4).copy()
+    baseline.close()
+    plan = FaultPlan(
+        [Fault(site="pool.send", action="kill", method="shard_sweep", worker=0, at=2)]
+    )
+    sampler = ShardedGibbsSampler(
+        graph, n_workers=2, seed=5, command_timeout=60.0, retry=FAST_RETRY
+    )
+    start = time.perf_counter()
+    with inject_faults(plan):
+        state = sampler.run(4).copy()
+    elapsed = time.perf_counter() - start
+    assert sampler.total_respawns == 1, "kill did not trigger a respawn"
+    assert np.array_equal(state, base_state), "recovered chain diverged"
+    assert elapsed < 60.0, f"recovery exceeded the command timeout ({elapsed:.1f}s)"
+    sampler.close()
+
+    cfg = EngineConfig(inference_samples=20, burn_in=5, incremental_burn_in=5, seed=0)
+    faulted = RerunEngine(build_graph(60, seed=1), cfg)
+    twin = RerunEngine(build_graph(60, seed=1), cfg)
+    rng = np.random.default_rng(2)
+    delta_f = make_delta(faulted.current_graph, 4, rng, 0)
+    rng = np.random.default_rng(2)
+    delta_t = make_delta(twin.current_graph, 4, rng, 0)
+    with inject_faults(FaultPlan([Fault(site="engine.update.patched")])):
+        try:
+            faulted.apply_update(delta_f)
+            raise AssertionError("fault did not fire")
+        except FaultInjected:
+            pass
+    assert faulted.rollbacks == 1
+    out_retry = faulted.apply_update(delta_f)
+    out_twin = twin.apply_update(delta_t)
+    assert np.array_equal(out_retry.marginals, out_twin.marginals), (
+        "rolled-back engine diverged from never-faulted twin"
+    )
+    faulted.close()
+    twin.close()
+    print("recovery smoke ok: kill→respawn bit-exact, rollback→retry twin-exact")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=sorted(SCALES), default="small")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run the chaos smoke assertions only",
+    )
+    args = parser.parse_args()
+    if args.check:
+        check()
+        return
+    record = run(args.scale)
+    emit_json("BENCH_recovery", record)
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,13 @@ from repro.core.sampling import SampleMaterialization, make_sampler
 from repro.core.variational import VariationalMaterialization
 from repro.graph.delta import FactorGraphDelta, compose_deltas
 from repro.graph.factor_graph import FactorGraph
+from repro.reliability.faults import maybe_fire
+from repro.reliability.snapshots import (
+    IncrementalUpdateSnapshot,
+    RelearnSnapshot,
+    RerunUpdateSnapshot,
+)
+from repro.reliability.wal import DeltaLog
 from repro.util.rng import as_generator
 
 
@@ -84,6 +91,17 @@ class EngineConfig:
     #: fresh learner with zeroed weights and fresh chains (still over the
     #: engine's patched compilation).
     warm_learning: bool = True
+    #: Transactional updates: every ``apply_update``/``relearn`` runs
+    #: under a bounded snapshot of the touched state plus a delta WAL —
+    #: a failure anywhere in the patch → infer → relearn pipeline rolls
+    #: the engine back to its pre-update state (caches verified
+    #: consistent) and the WAL records the rolled-back transaction.
+    #: False removes the snapshot/WAL overhead (trusted callers).
+    transactional: bool = True
+    #: File path for the delta WAL; ``None`` keeps it in memory.  A
+    #: file-backed WAL survives the process, so committed updates can be
+    #: replayed onto a rebuilt engine after a crash.
+    wal_path: str | None = None
     #: Lesion knobs — remove a strategy to reproduce Fig. 11.
     strategies: tuple = (SAMPLING, VARIATIONAL)
     #: False reproduces the NoWorkloadInfo baseline: sampling until the
@@ -168,6 +186,8 @@ class IncrementalEngine:
         self._learner_stale = False
         self.learns_warm = 0
         self.learns_cold = 0
+        self.wal = DeltaLog(self.config.wal_path) if self.config.transactional else None
+        self.rollbacks = 0
 
     # ------------------------------------------------------------------ #
 
@@ -217,7 +237,30 @@ class IncrementalEngine:
         )
 
     def apply_update(self, delta: FactorGraphDelta) -> InferenceOutcome:
-        """Evaluate one update (delta relative to the *current* graph)."""
+        """Evaluate one update (delta relative to the *current* graph).
+
+        Transactional by default (``EngineConfig.transactional``): the
+        delta is WAL-logged before anything mutates, and a failure
+        anywhere in splice → patch → infer restores the engine —
+        materializations, compiled substrate, learner chains, rng — to
+        its pre-update state, so the retried apply matches a never-failed
+        one exactly (serial components; pool-backed ones rebuild cold)."""
+        if not self.config.transactional:
+            return self._apply_update_inner(delta)
+        snap = IncrementalUpdateSnapshot(self)
+        txn = self.wal.begin(delta)
+        try:
+            maybe_fire("engine.update.start")
+            outcome = self._apply_update_inner(delta)
+        except Exception as exc:
+            self.rollbacks += 1
+            snap.restore()
+            self.wal.rollback(txn, reason=repr(exc))
+            raise
+        self.wal.commit(txn)
+        return outcome
+
+    def _apply_update_inner(self, delta: FactorGraphDelta) -> InferenceOutcome:
         if not self.materialized:
             raise RuntimeError("materialize() before apply_update()")
         cfg = self.config
@@ -279,9 +322,11 @@ class IncrementalEngine:
             <= cfg.bundle_patch_fraction * max(self.current_graph.num_vars, 1)
         ):
             self.sampling.extend_bundle(delta.num_new_vars)
+        maybe_fire("engine.update.patched")
 
         decision = self._decide(delta)
         outcome = self._run_strategy(decision)
+        maybe_fire("engine.update.inferred")
         outcome.seconds = time.perf_counter() - started
         self._last_marginals = outcome.marginals
         return outcome
@@ -298,7 +343,22 @@ class IncrementalEngine:
         paper's SGD+Warmstart step (App. B.3) with O(|Δ|) setup.  Weights
         are updated in place on ``current_graph.weights``.  Returns the
         :class:`~repro.learning.sgd.LearningHistory` of this run.
+
+        Transactional (``EngineConfig.transactional``): a failure mid-fit
+        restores the weight store, the learner's chains and the rng.
         """
+        if self.config.transactional:
+            snap = RelearnSnapshot(self)
+            try:
+                maybe_fire("engine.relearn.start")
+                return self._relearn_inner(num_epochs, record_loss, learner_kwargs)
+            except Exception:
+                self.rollbacks += 1
+                snap.restore()
+                raise
+        return self._relearn_inner(num_epochs, record_loss, learner_kwargs)
+
+    def _relearn_inner(self, num_epochs, record_loss, learner_kwargs):
         if self._learn_compiled is None:
             from repro.graph.compiled import CompiledFactorGraph
 
@@ -316,6 +376,8 @@ class IncrementalEngine:
         if self._learner is not None:
             self._learner.close()
             self._learner = None
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self):
         return self
@@ -427,6 +489,8 @@ class RerunEngine:
         self._learner_stale = False
         self.learns_warm = 0
         self.learns_cold = 0
+        self.wal = DeltaLog(self.config.wal_path) if self.config.transactional else None
+        self.rollbacks = 0
 
     def _fresh_sampler(self):
         from repro.graph.compiled import CompiledFactorGraph
@@ -444,6 +508,25 @@ class RerunEngine:
         self.updates_recompiled += 1
 
     def apply_update(self, delta: FactorGraphDelta) -> InferenceOutcome:
+        """Apply one delta and re-run inference (transactional: a failure
+        in patch → sample rolls the compiled substrate, the persistent
+        sampler and the rng back to the pre-update state)."""
+        if not self.config.transactional:
+            return self._apply_update_inner(delta)
+        snap = RerunUpdateSnapshot(self)
+        txn = self.wal.begin(delta)
+        try:
+            maybe_fire("engine.update.start")
+            outcome = self._apply_update_inner(delta)
+        except Exception as exc:
+            self.rollbacks += 1
+            snap.restore()
+            self.wal.rollback(txn, reason=repr(exc))
+            raise
+        self.wal.commit(txn)
+        return outcome
+
+    def _apply_update_inner(self, delta: FactorGraphDelta) -> InferenceOutcome:
         started = time.perf_counter()
         cfg = self.config
         if delta.is_empty and self._last_marginals is not None:
@@ -519,9 +602,11 @@ class RerunEngine:
                 # The compilation was thrown away: the learner cannot be
                 # patched onto it and is rebuilt at the next relearn.
                 self._learner_stale = True
+        maybe_fire("engine.update.patched")
         marginals = self._sampler.estimate_marginals(
             cfg.inference_samples, burn_in=burn
         )
+        maybe_fire("engine.update.inferred")
         if not cfg.reuse_compilation:
             # Baseline mode keeps the original throwaway lifecycle.
             if hasattr(self._sampler, "close"):
@@ -578,7 +663,22 @@ class RerunEngine:
         ``warm_learning=False`` (or ``reuse_compilation=False``) each
         call pays the cold restart the Fig. 16 baselines measure.
         Weight updates land in place and are picked up by the persistent
-        sampler's version-gated weight refresh."""
+        sampler's version-gated weight refresh.
+
+        Transactional (``EngineConfig.transactional``): a failure mid-fit
+        restores the weight store, the learner's chains and the rng."""
+        if self.config.transactional:
+            snap = RelearnSnapshot(self)
+            try:
+                maybe_fire("engine.relearn.start")
+                return self._relearn_inner(num_epochs, record_loss, learner_kwargs)
+            except Exception:
+                self.rollbacks += 1
+                snap.restore()
+                raise
+        return self._relearn_inner(num_epochs, record_loss, learner_kwargs)
+
+    def _relearn_inner(self, num_epochs, record_loss, learner_kwargs):
         cfg = self.config
         compiled = None
         if cfg.reuse_compilation:
@@ -597,6 +697,8 @@ class RerunEngine:
         if self._learner is not None:
             self._learner.close()
             self._learner = None
+        if self.wal is not None:
+            self.wal.close()
 
     def __enter__(self):
         return self

@@ -1146,6 +1146,155 @@ class CompiledFactorGraph:
             )
         self.__init__(self.graph)
 
+    # ------------------------------------------------------------------ #
+    # Transactional snapshot/rollback (repro.reliability)
+    # ------------------------------------------------------------------ #
+
+    #: Growable arrays whose *existing* rows a patch mutates (tombstone
+    #: flips, evidence writes, block-planning flags) — these need content
+    #: copies; every other growable array is append-only and rolls back by
+    #: truncation alone.
+    _SNAP_MUTATED = (
+        "bias_alive",
+        "ising_alive",
+        "rule_alive",
+        "var_patched",
+        "evidence_mask",
+        "_force_singleton",
+        "_needs_scalar",
+        "_big_count",
+    )
+
+    #: Arrays a patch never mutates in place (``compact`` replaces them
+    #: wholesale) — captured and restored by reference.
+    _SNAP_STATIC = (
+        "bias_indptr",
+        "ising_indptr",
+        "head_indptr",
+        "head_ri",
+        "body_indptr",
+        "body_ri",
+        "body_gg",
+        "body_pos",
+        "bseg_indptr",
+        "bseg_start",
+        "bseg_ri",
+        "slow_indptr",
+        "slow_idx",
+        "_nbr_indptr",
+        "_nbr_idx",
+    )
+
+    #: Attributes a patch only ever *replaces* (never mutates in place) —
+    #: captured and restored by reference.
+    _SNAP_REFS = ("graph", "free_vars", "_fkind", "_fh1", "_fh2",
+                  "rule_factors", "slow_factors")
+
+    _SNAP_SCALARS = (
+        "num_vars",
+        "num_rules",
+        "num_groundings",
+        "num_live_rules",
+        "num_live_slow",
+        "rule_sem_uniform",
+        "_patched",
+        "_csr_num_vars",
+    )
+
+    #: Append-only Python lists: captured by (ref, len), rolled back by
+    #: truncating the same object.
+    _SNAP_APPEND_LISTS = (
+        "slow_list",
+        "_ri_factor",
+        "_rule_head_l",
+        "_rule_wid_l",
+        "_rule_sem_l",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Bounded pre-update snapshot for commit-or-rollback deltas.
+
+        Captures exactly the state :meth:`apply_delta` (and a threshold
+        :meth:`compact` it may trigger) can change: the growable buffers
+        by (object, size) plus content copies of the in-place-mutated
+        masks, the Python mirrors, the handle table and plan cache.
+        Must be taken *before* ``apply_delta`` runs (``_ops_from_delta``
+        rewrites the handle table first).  Restoring recovers the exact
+        pre-patch layout — same tombstones, same block ``seq`` stamps,
+        same float summation order — so a retried update is bit-identical
+        to one applied to a never-failed engine.
+        """
+        if self._cap_views is not None:
+            raise RuntimeError(
+                "shared-memory attached views snapshot on the controller"
+            )
+        snap = {
+            "grow": self._grow,
+            "sizes": {n: self._grow[n].size for n in _GROWABLE_NAMES},
+            "mutated": {n: getattr(self, n).copy() for n in self._SNAP_MUTATED},
+            "static": {n: getattr(self, n) for n in self._SNAP_STATIC},
+            "refs": {n: getattr(self, n) for n in self._SNAP_REFS},
+            "scalars": {n: getattr(self, n) for n in self._SNAP_SCALARS},
+            "append_lists": {
+                n: (getattr(self, n), len(getattr(self, n)))
+                for n in self._SNAP_APPEND_LISTS
+            },
+            "mirrors": {
+                n: [list(sub) for sub in getattr(self, n)]
+                for n in ("py_bias", "py_ising", "py_head", "py_body", "py_slow")
+            },
+            "slow_alive": list(self.slow_alive),
+            "weight_factor_counts": (
+                None
+                if self.weight_factor_counts is None
+                else self.weight_factor_counts.copy()
+            ),
+            "nbr_patch": {v: c.copy() for v, c in self._nbr_patch.items()},
+            "plan_cache": {
+                key: (plan, plan.snapshot_state())
+                for key, plan in self._plan_cache.items()
+            },
+            "used": False,
+        }
+        return snap
+
+    def restore_state(self, snap: dict) -> None:
+        """Roll back to a :meth:`snapshot_state` capture (single use).
+
+        Valid across any sequence of ``apply_delta`` calls since the
+        capture, including ones that triggered a threshold compaction
+        (the snapshot holds the pre-patch buffer objects, which a
+        compaction abandons rather than mutates)."""
+        if snap["used"]:
+            raise RuntimeError("compiled snapshot already consumed")
+        snap["used"] = True
+        self._grow = snap["grow"]
+        for name in _GROWABLE_NAMES:
+            ga = self._grow[name]
+            ga.size = snap["sizes"][name]
+            setattr(self, name, ga.view)
+        for name, saved in snap["mutated"].items():
+            getattr(self, name)[:] = saved
+        for name, saved in snap["static"].items():
+            setattr(self, name, saved)
+        for name, saved in snap["refs"].items():
+            setattr(self, name, saved)
+        for name, saved in snap["scalars"].items():
+            setattr(self, name, saved)
+        for name, (lst, length) in snap["append_lists"].items():
+            del lst[length:]
+            setattr(self, name, lst)
+        for name, saved in snap["mirrors"].items():
+            setattr(self, name, saved)
+        self.slow_alive = snap["slow_alive"]
+        self.weight_factor_counts = snap["weight_factor_counts"]
+        self._nbr_patch = snap["nbr_patch"]
+        cache = {}
+        for key, (plan, plan_snap) in snap["plan_cache"].items():
+            plan.restore_state(plan_snap)
+            cache[key] = plan
+        self._plan_cache = cache
+
 
 class _Block:
     """One run of mutually factor-independent variables in scan order.
@@ -1337,6 +1486,28 @@ class SweepPlan:
         self.blocks = merged
         self.free_vars = np.flatnonzero(~mask)
         self._index_blocks()
+
+    def snapshot_state(self) -> dict:
+        """Capture the mutable plan state for transactional rollback.
+
+        Surviving :class:`_Block` objects are never mutated by
+        :meth:`apply_patch` (their ``seq`` stamps are final), so the block
+        list is captured shallowly; ``evidence_mask`` is copied because a
+        var-count-preserving patch writes it in place."""
+        return {
+            "evidence_mask": self.evidence_mask.copy(),
+            "free_vars": self.free_vars,
+            "blocks": list(self.blocks),
+            "block_of": self._block_of,
+            "next_seq": self._next_seq,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        self.evidence_mask = snap["evidence_mask"]
+        self.free_vars = snap["free_vars"]
+        self.blocks = snap["blocks"]
+        self._block_of = snap["block_of"]
+        self._next_seq = snap["next_seq"]
 
     @property
     def num_blocks(self) -> int:

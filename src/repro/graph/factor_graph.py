@@ -213,6 +213,32 @@ class WeightStore:
     def learnable_ids(self) -> list:
         return np.flatnonzero(~self._fixed[: self._size]).tolist()
 
+    def snapshot_state(self) -> dict:
+        """Capture values/keys/version for transactional rollback."""
+        return {
+            "values": self._values[: self._size].copy(),
+            "fixed": self._fixed[: self._size].copy(),
+            "size": self._size,
+            "keys_len": len(self._keys),
+            "version": self._version,
+        }
+
+    def restore_state(self, snap: dict) -> None:
+        """Roll back to a :meth:`snapshot_state` capture.
+
+        Writes values in place and resets — not bumps — the version, so
+        version-gated caches built before the failed mutation stay valid
+        (their incrementally maintained fields match the restored values
+        bit for bit, which a forced rebuild would not guarantee)."""
+        size = snap["size"]
+        for key in self._keys[size:]:
+            self._by_key.pop(key, None)
+        del self._keys[size:]
+        self._size = size
+        self._values[:size] = snap["values"]
+        self._fixed[:size] = snap["fixed"]
+        self._version = snap["version"]
+
     def fixed_mask(self) -> np.ndarray:
         """Read-only boolean view: True where the weight is fixed."""
         view = self._fixed[: self._size]

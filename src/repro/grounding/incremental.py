@@ -31,6 +31,7 @@ from repro.db.database import Database
 from repro.db.query import evaluate_query
 from repro.graph.delta import FactorGraphDelta
 from repro.graph.factor_graph import FactorGraph, RuleFactor
+from repro.reliability.faults import maybe_fire
 from repro.grounding.grounder import (
     FactorRecord,
     Grounder,
@@ -162,6 +163,11 @@ class IncrementalGrounder:
             if engine == "columnar"
             else None
         )
+        #: the most recent :class:`UpdateResult` — stashed *before* the
+        #: ``ground.update.finish`` injection point so a failure between
+        #: grounding and downstream application can resume without
+        #: re-running the (non-idempotent) relation deltas.
+        self.last_result: UpdateResult | None = None
 
     @classmethod
     def from_scratch(
@@ -212,6 +218,9 @@ class IncrementalGrounder:
         """
         inserts = inserts or {}
         deletes = deletes or {}
+        # Fires before any relation is mutated: a failure here leaves the
+        # grounder (db, records, graph) exactly as it was.
+        maybe_fire("ground.update.start")
 
         # ---- 1. Base-relation visibility transitions (computed, then applied).
         transitions: dict = {}
@@ -497,6 +506,8 @@ class IncrementalGrounder:
             delta=delta, graph=updated, transitions=all_transitions, patch=patch
         )
         self.graph = updated
+        self.last_result = result
+        maybe_fire("ground.update.finish")
         return result
 
     # ------------------------------------------------------------------ #

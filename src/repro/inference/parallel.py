@@ -43,6 +43,7 @@ same seed — so every consumer keeps a zero-dependency fallback.
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import pickle
 import time
 import traceback
@@ -64,7 +65,13 @@ from repro.graph.compiled import (
 )
 from repro.graph.semantics import sem_from_code
 from repro.inference.gibbs import GibbsSampler, sweep_blocks
+from repro.reliability.errors import WorkerCrashError
+from repro.reliability.faults import maybe_fire
+from repro.reliability.retry import RetryPolicy
 from repro.util.rng import as_generator, spawn
+
+#: Sentinel distinguishing "no timeout argument" from an explicit None.
+_UNSET = object()
 
 __all__ = [
     "SharedGraphExport",
@@ -275,6 +282,61 @@ class SharedGraphExport:
         self.push_weights(compiled.graph.weights)
         self._views["__structure_version__"][0] += 1
         return True
+
+    def verify(self) -> list:
+        """Names of exported regions whose content diverged from the
+        controller's compiled arrays (corruption detector).
+
+        The controller's flat arrays are the ground truth: every shared
+        structural region was copied from them (at export or by
+        :meth:`apply_patch`), so any byte difference within the logical
+        sizes means the segment was scribbled on.  The weight region is
+        only compared when its version cell matches the store (a pending
+        unpushed weight update is not corruption).  Extra regions (state
+        buffers) have no controller ground truth and are not checked."""
+        bad = []
+        c = self.compiled
+        for name in _EXPORT_ARRAYS:
+            src = np.ascontiguousarray(getattr(c, name))
+            if not np.array_equal(self._views[name][: src.shape[0]], src):
+                bad.append(name)
+        sizes = self._views["__sizes__"]
+        for gi, name in enumerate(_GROWABLE_EXPORT):
+            if int(sizes[gi]) != getattr(c, name).shape[0]:
+                bad.append("__sizes__")
+                break
+        store = c.graph.weights
+        if int(self._views["__weights_version__"][0]) == store.version:
+            values = np.asarray(store.values_array(), dtype=np.float64)
+            if int(self._views["__weights_size__"][0]) != values.shape[0] or (
+                not np.array_equal(
+                    self._views["__weights__"][: values.shape[0]], values
+                )
+            ):
+                bad.append("__weights__")
+        return bad
+
+    def repair(self, names) -> None:
+        """Re-copy the named regions from the controller's arrays."""
+        for name in names:
+            if name == "__sizes__":
+                for gi, gname in enumerate(_GROWABLE_EXPORT):
+                    self._views["__sizes__"][gi] = getattr(
+                        self.compiled, gname
+                    ).shape[0]
+            elif name == "__weights__":
+                self.push_weights(self.compiled.graph.weights)
+            else:
+                src = np.ascontiguousarray(getattr(self.compiled, name))
+                if src.size:
+                    self._views[name][: src.shape[0]] = src
+
+    def verify_and_repair(self) -> list:
+        """Detect and fix corrupted regions; returns the repaired names."""
+        bad = self.verify()
+        if bad:
+            self.repair(bad)
+        return bad
 
     def spec(self) -> dict:
         """Picklable worker-attach description (structure not in shm)."""
@@ -513,6 +575,13 @@ class _Worker:
 
     def __init__(self, spec: dict) -> None:
         self.compiled, self.shm, self.views = attach_compiled(spec)
+        # Worker-side safety net: if this process dies abnormally (killed
+        # mid-command, unhandled interpreter exit), the attached segment
+        # view is still closed at GC/interpreter shutdown instead of
+        # pinning the segment until the controller unlinks it.
+        self._finalizer = weakref.finalize(
+            self, _cleanup_shm, self.shm, unlink=False
+        )
         self.default_evidence = spec["evidence"]
         self.chains = {}
         self.shard = None
@@ -613,14 +682,22 @@ class _Worker:
 
     # ---- sharded-sweep mode ------------------------------------------ #
 
-    def shard_init(self, blocks, watch_vars, own_vars, rng, initial):
+    def shard_init(self, blocks, watch_vars, own_vars, rng, initial, fast_forward=0):
         """Set up this worker's shard of one sharded chain.
 
         ``blocks`` is a list of ``(vars, scalar_only)`` pairs in scan
         order; ``watch_vars`` are the foreign boundary variables whose
         flips must be reconciled into the local caches between sweeps.
+        ``fast_forward`` discards the uniforms of that many already-
+        completed sweeps (one ``random(num_own)`` draw each), so a worker
+        respawned mid-chain rejoins the exact rng stream a never-crashed
+        worker would be on.
         """
         state = np.array(initial, dtype=bool)
+        shard_rng = as_generator(rng)
+        num_own = int(sum(len(v) for v, _ in blocks))
+        for _ in range(int(fast_forward)):
+            shard_rng.random(num_own)
         self.shard = {
             "blocks": [
                 _Block(self.compiled, np.asarray(v, dtype=np.int64), scalar_only=s)
@@ -630,8 +707,8 @@ class _Worker:
             "own": np.asarray(own_vars, dtype=np.int64),
             "state": state,
             "cache": GibbsCache(self.compiled, state),
-            "rng": as_generator(rng),
-            "num_own": int(sum(len(v) for v, _ in blocks)),
+            "rng": shard_rng,
+            "num_own": num_own,
         }
 
     def shard_sweep(self, k):
@@ -702,7 +779,11 @@ class _Worker:
         old_shm = self.shm
         old_chains = self.chains
         self.compiled, self.shm, self.views = attach_compiled(spec)
+        self._finalizer.detach()
         _cleanup_shm(old_shm, unlink=False)
+        self._finalizer = weakref.finalize(
+            self, _cleanup_shm, self.shm, unlink=False
+        )
         self.default_evidence = spec["evidence"]
         self.shard = None
         self.chains = {}
@@ -733,6 +814,19 @@ class _Worker:
             }
         return None
 
+    # ---- fault injection ---------------------------------------------- #
+
+    def fault_exit(self, after=None, kwargs=None, code=43):
+        """Die abruptly (``os._exit``: no reply, no cleanup handlers).
+
+        With ``after`` set, the named command runs to completion first —
+        the deterministic "worker finished its sweep, published, then
+        crashed before replying" scenario of the fault harness."""
+        if after is not None:
+            getattr(self, after)(**(kwargs or {}))
+        self._finalizer()
+        os._exit(int(code))
+
 
 def _worker_main(conn, spec: dict) -> None:
     worker = None
@@ -758,7 +852,7 @@ def _worker_main(conn, spec: dict) -> None:
                 conn.send(("error", traceback.format_exc()))
     finally:
         if worker is not None:
-            _cleanup_shm(worker.shm, unlink=False)
+            worker._finalizer()
         conn.close()
 
 
@@ -769,7 +863,21 @@ class GibbsWorkerPool:
     address workers by index with :meth:`call` (synchronous) or
     :meth:`send`/:meth:`recv` (fan-out: send to all, then collect — the
     workers run concurrently between the two).
+
+    **Supervision.**  :meth:`recv` polls with liveness checks instead of
+    blocking: a dead worker raises :class:`WorkerCrashError` immediately
+    and an unresponsive one raises it after ``command_timeout`` seconds
+    (``None`` waits indefinitely on a *live* worker but still detects
+    death promptly).  :meth:`respawn_worker` rebuilds a crashed worker
+    from the export's creation-time spec plus the recorded patch-op log —
+    the same deterministic replay machinery used by the incremental
+    update path — then replays recorded ``chain_init`` commands, or
+    defers to ``session_restorer`` when a consumer (the sharded sampler)
+    owns richer per-worker state.  :meth:`supervised_call` wraps
+    send/recv/respawn under a :class:`RetryPolicy`.
     """
+
+    _POLL_STEP = 0.05
 
     def __init__(
         self,
@@ -777,13 +885,28 @@ class GibbsWorkerPool:
         n_workers: int,
         extra=None,
         ctx=None,
+        command_timeout: float | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         ctx = ctx if ctx is not None else default_context()
+        self._ctx = ctx
         self.n_workers = n_workers
+        self.command_timeout = command_timeout
         self.export = SharedGraphExport(compiled, extra=extra)
-        spec = self.export.spec()
+        # Respawn baseline: the clean (compacted) spec of the current
+        # segment plus every patch-op dict shipped since.  A fresh worker
+        # attaches the baseline and replays the log — patch application
+        # is deterministic and in-place growth is idempotent (identical
+        # content rewritten), so it converges on the crashed worker's
+        # structural state.
+        self._spec = self.export.spec()
+        self._patch_ops_log: list = []
+        self._chain_log = [[] for _ in range(n_workers)]
+        self._last_tb = [None] * n_workers
+        self.session_restorer = None
+        self.respawns = 0
+        spec = self._spec
         self._conns = []
         self._procs = []
         try:
@@ -806,17 +929,145 @@ class GibbsWorkerPool:
         )
 
     def send(self, worker: int, method: str, **kwargs) -> None:
-        self._conns[worker].send((method, kwargs))
+        fault = maybe_fire(
+            "pool.send", worker=worker, method=method, export=self.export
+        )
+        if fault is not None:
+            if fault.action == "drop":
+                return
+            if fault.action == "kill":
+                proc = self._procs[worker]
+                if proc.is_alive():
+                    proc.kill()
+                proc.join(timeout=5)
+            elif fault.action == "kill_after":
+                try:
+                    self._conns[worker].send(
+                        ("fault_exit", {"after": method, "kwargs": kwargs})
+                    )
+                except (BrokenPipeError, OSError):
+                    pass
+                return
+        try:
+            self._conns[worker].send((method, kwargs))
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerCrashError(
+                worker,
+                f"connection closed while sending {method!r}: {exc}",
+                exitcode=self._procs[worker].exitcode,
+                last_traceback=self._last_tb[worker],
+            ) from exc
 
-    def recv(self, worker: int):
-        status, payload = self._conns[worker].recv()
+    def recv(self, worker: int, timeout=_UNSET):
+        maybe_fire("pool.recv", worker=worker, export=self.export)
+        if timeout is _UNSET:
+            timeout = self.command_timeout
+        conn = self._conns[worker]
+        proc = self._procs[worker]
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not conn.poll(self._POLL_STEP):
+            if not proc.is_alive() and not conn.poll(0):
+                raise WorkerCrashError(
+                    worker,
+                    f"worker process died (exitcode {proc.exitcode})",
+                    exitcode=proc.exitcode,
+                    last_traceback=self._last_tb[worker],
+                )
+            if deadline is not None and time.monotonic() >= deadline:
+                raise WorkerCrashError(
+                    worker,
+                    f"no reply within {timeout:.3g}s",
+                    hung=True,
+                    last_traceback=self._last_tb[worker],
+                )
+        try:
+            status, payload = conn.recv()
+        except (EOFError, OSError) as exc:
+            raise WorkerCrashError(
+                worker,
+                f"connection closed mid-reply: {exc}",
+                exitcode=proc.exitcode,
+                last_traceback=self._last_tb[worker],
+            ) from exc
         if status != "ok":
+            self._last_tb[worker] = payload
             raise RuntimeError(f"worker {worker} failed:\n{payload}")
         return payload
 
     def call(self, worker: int, method: str, **kwargs):
         self.send(worker, method, **kwargs)
-        return self.recv(worker)
+        result = self.recv(worker)
+        if method == "chain_init":
+            # Recorded for crash recovery: replaying chain_init with the
+            # original (never-advanced controller-side) rng restarts the
+            # chain from its initial state on the replayed structure.
+            self._chain_log[worker].append(dict(kwargs))
+        return result
+
+    def supervised_call(
+        self, worker: int, method: str, retry: RetryPolicy | None = None, **kwargs
+    ):
+        """:meth:`call` with respawn-and-retry on worker crashes."""
+        policy = retry if retry is not None else RetryPolicy()
+
+        def attempt(_n):
+            self.send(worker, method, **kwargs)
+            result = self.recv(worker)
+            if method == "chain_init":
+                self._chain_log[worker].append(dict(kwargs))
+            return result
+
+        def on_retry(_n, _exc):
+            self.respawn_worker(worker)
+
+        return policy.call(
+            attempt, retryable=(WorkerCrashError,), on_retry=on_retry
+        )
+
+    def respawn_worker(self, worker: int) -> None:
+        """Replace a dead/hung worker with a fresh process.
+
+        The replacement attaches the current segment via the baseline
+        spec, replays the patch-op log to rebuild the crashed worker's
+        structural state, then restores session state: the consumer's
+        ``session_restorer`` callback if registered (sharded sampler),
+        else the recorded ``chain_init`` history (chain consumers —
+        chains restart from their initial state)."""
+        proc = self._procs[worker]
+        if proc.is_alive():
+            proc.kill()
+        proc.join(timeout=5)
+        try:
+            self._conns[worker].close()
+        except OSError:
+            pass
+        parent, child = self._ctx.Pipe()
+        new_proc = self._ctx.Process(
+            target=_worker_main, args=(child, self._spec), daemon=True
+        )
+        new_proc.start()
+        child.close()
+        # The finalizer holds references to these lists, so in-place
+        # replacement keeps shutdown covering the new process.
+        self._conns[worker] = parent
+        self._procs[worker] = new_proc
+        self._last_tb[worker] = None
+        self.respawns += 1
+        self.recv(worker)  # attach handshake
+        for ops in self._patch_ops_log:
+            self.send(worker, "graph_patch", ops=ops)
+            self.recv(worker)
+        if self.session_restorer is not None:
+            self.session_restorer(worker)
+        else:
+            for kwargs in self._chain_log[worker]:
+                self.send(worker, "chain_init", **kwargs)
+                self.recv(worker)
+
+    def audit_export(self) -> list:
+        """Detect-and-repair pass over the shared regions (see
+        :meth:`SharedGraphExport.verify_and_repair`)."""
+        return self.export.verify_and_repair()
 
     def broadcast(self, method: str, per_worker_kwargs) -> list:
         """Fan a call out to every worker and collect results in order."""
@@ -846,21 +1097,28 @@ class GibbsWorkerPool:
         )
         old = self.export
         self.export = new_export
+        # New segment is a clean baseline of the patched compilation:
+        # respawns start from here, nothing left to replay.
+        self._spec = spec
+        self._patch_ops_log.clear()
         old.close()
 
     def graph_patch(self, compiled: CompiledFactorGraph, patch) -> None:
         """Ship one compiled patch to every worker (export already grown
         in place by the caller via ``export.apply_patch``)."""
+        self._patch_ops_log.append(patch.ops)
         self.broadcast(
             "graph_patch", [{"ops": patch.ops} for _ in range(self.n_workers)]
         )
 
     def close(self) -> None:
-        if hasattr(self, "_finalizer"):
-            self._finalizer()
-        else:
-            _shutdown_pool(self._conns, self._procs)
-        self.export.close()
+        try:
+            if hasattr(self, "_finalizer"):
+                self._finalizer()
+            else:
+                _shutdown_pool(self._conns, self._procs)
+        finally:
+            self.export.close()
 
     def __enter__(self):
         return self
@@ -879,6 +1137,9 @@ def _shutdown_pool(conns, procs) -> None:
         proc.join(timeout=5)
         if proc.is_alive():
             proc.terminate()
+            proc.join(timeout=1)
+        if proc.is_alive():
+            proc.kill()
             proc.join(timeout=1)
     for conn in conns:
         try:
@@ -912,6 +1173,19 @@ class ShardedGibbsSampler:
     block_costs:
         Optional per-block cost vector for the shard partitioner (e.g.
         from :func:`measure_block_costs`); defaults to the analytic model.
+    command_timeout:
+        Per-command reply deadline (seconds) for pool supervision; a
+        worker that neither replies nor dies within it counts as hung.
+        ``None`` (default) waits indefinitely on live workers but still
+        detects death promptly.
+    retry:
+        :class:`RetryPolicy` for respawn-and-retry of crashed shard
+        workers; after it is exhausted the sampler degrades permanently
+        to the in-process serial kernel (``degradations`` counter)
+        instead of raising.
+    audit_every:
+        If > 0, run a detect-and-repair pass over the shared export every
+        that many sweeps (``repairs`` counts regions repaired).
     """
 
     def __init__(
@@ -924,6 +1198,9 @@ class ShardedGibbsSampler:
         sync: str = "serial",
         block_costs=None,
         ctx=None,
+        command_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+        audit_every: int = 0,
     ) -> None:
         if sync not in ("serial", "stale"):
             raise ValueError(f"sync must be 'serial' or 'stale', got {sync!r}")
@@ -931,6 +1208,11 @@ class ShardedGibbsSampler:
         self.n_workers = n_workers
         self.sync = sync
         self.sweeps_done = 0
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.audit_every = audit_every
+        self.total_respawns = 0
+        self.degradations = 0
+        self.repairs = 0
         if n_workers <= 1:
             self._serial = GibbsSampler(
                 graph, seed=seed, initial=initial, compiled=compiled
@@ -968,6 +1250,7 @@ class ShardedGibbsSampler:
             n_workers,
             extra={"state0": ((cap_n,), bool), "state1": ((cap_n,), bool)},
             ctx=ctx,
+            command_timeout=command_timeout,
         )
         self._pushed_version = graph.weights.version
         self.pool.export.array("state0")[:n] = self._state
@@ -979,6 +1262,13 @@ class ShardedGibbsSampler:
         """(Re)send every worker its shard of the current shard plan."""
         n_workers = self.n_workers
         worker_rngs = spawn(self.rng, n_workers)
+        # Retained for crash recovery: the controller-side Generator
+        # objects are never advanced (pickling them for the initial send
+        # does not mutate state), so re-sending one with ``fast_forward``
+        # reproduces a respawned worker's stream position exactly.
+        self._shard_rngs = worker_rngs
+        self._sweeps_at_init = self.sweeps_done
+        self._shard_init_args = []
         sp = self.shard_plan
         blocks = self.plan.blocks
         boundary_set = set(sp.boundary.tolist())
@@ -1005,18 +1295,19 @@ class ShardedGibbsSampler:
                 if len(own_ids)
                 else np.zeros(0, dtype=np.int64)
             )
-            self.pool.call(
-                s,
-                "shard_init",
+            kwargs = dict(
                 blocks=[
                     (blocks[bi].vars, bool(blocks[bi].scalar_only))
                     for bi in own_ids
                 ],
                 watch_vars=watch,
                 own_vars=own_vars,
-                rng=worker_rngs[s],
-                initial=self._state,
             )
+            self._shard_init_args.append(kwargs)
+            self.pool.call(
+                s, "shard_init", rng=worker_rngs[s], initial=self._state, **kwargs
+            )
+        self.pool.session_restorer = self._restore_worker_session
 
         if self.sync == "serial":
             self._cache = GibbsCache(self.compiled, self._state)
@@ -1070,6 +1361,83 @@ class ShardedGibbsSampler:
         if self._serial is not None:
             return self._serial.state
         return self._state
+
+    # ------------------------------------------------------------------ #
+    # Supervision / crash recovery
+
+    def _restore_worker_session(self, worker: int) -> None:
+        """Rebuild a respawned worker's shard session (pool callback).
+
+        Invoked by :meth:`GibbsWorkerPool.respawn_worker` after the fresh
+        process has attached the export and replayed the patch-op log.
+        The controller state is the end of the last completed sweep and
+        the retained rng was never advanced controller-side, so replaying
+        ``shard_init`` with ``fast_forward`` (one uniform block per sweep
+        completed since the last init) lands the worker's stream exactly
+        where the crashed one stood — the retried ``shard_sweep`` is
+        bit-identical to the one that was lost."""
+        self.pool.call(
+            worker,
+            "shard_init",
+            rng=self._shard_rngs[worker],
+            initial=self._state,
+            fast_forward=self.sweeps_done - self._sweeps_at_init,
+            **self._shard_init_args[worker],
+        )
+
+    def _recover_worker(self, worker: int) -> None:
+        self.pool.respawn_worker(worker)
+        self.total_respawns += 1
+
+    def _parallel_phase(self, k: int) -> bool:
+        """Fan sweep ``k`` out to every shard and collect the replies,
+        respawning crashed/hung workers under the retry policy.
+
+        Returns False when a worker could not be recovered within the
+        policy, in which case the sampler has already degraded to the
+        serial kernel and the caller must run sweep ``k`` there."""
+        pool = self.pool
+        for s in range(self.n_workers):
+            try:
+                pool.send(s, "shard_sweep", k=k)
+            except WorkerCrashError:
+                pass  # the recv loop below detects, respawns, and resends
+        for s in range(self.n_workers):
+
+            def attempt(n, s=s):
+                if n > 1:
+                    pool.send(s, "shard_sweep", k=k)
+                return pool.recv(s)
+
+            def on_retry(n, exc, s=s):
+                self._recover_worker(s)
+
+            try:
+                self.retry.call(
+                    attempt, retryable=(WorkerCrashError,), on_retry=on_retry
+                )
+            except WorkerCrashError:
+                self._degrade_to_serial()
+                return False
+        return True
+
+    def _degrade_to_serial(self) -> None:
+        """Permanent graceful fallback after unrecoverable worker failure.
+
+        Abandons the pool and continues the *same* chain on the
+        in-process serial kernel from the current (end of last completed
+        sweep) state — results stay valid, only the scan order changes
+        from the sharded one."""
+        self.degradations += 1
+        pool, self.pool = self.pool, None
+        try:
+            pool.close()
+        except OSError:
+            pass
+        self._serial = GibbsSampler(
+            self.graph, seed=self.rng, initial=self._state, compiled=self.compiled
+        )
+        self._serial.sweeps_done = self.sweeps_done
 
     def apply_patch(self, patch) -> None:
         """Warm-start the sharded chain across a compiled-graph patch.
@@ -1145,10 +1513,15 @@ class ShardedGibbsSampler:
         if version != self._pushed_version:
             pool.push_weights(self.graph.weights)
             self._pushed_version = version
-        for s in range(self.n_workers):
-            pool.send(s, "shard_sweep", k=k)
-        for s in range(self.n_workers):
-            pool.recv(s)
+        maybe_fire("sharded.sweep.start", export=pool.export, sweep=k)
+        if self.audit_every and k % self.audit_every == 0:
+            self.repairs += len(pool.audit_export())
+        if not self._parallel_phase(k):
+            # Degraded mid-sweep: no shard published for sweep k, so run
+            # the whole sweep on the serial kernel we just switched to.
+            self._serial.sweep()
+            self.sweeps_done = self._serial.sweeps_done
+            return
         cur = pool.export.array("state1" if k % 2 == 0 else "state0")
         state = self._state
         if self.sync == "serial":

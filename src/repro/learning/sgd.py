@@ -27,6 +27,8 @@ from repro.graph.compiled import CompiledFactorGraph, GibbsCache
 from repro.graph.factor_graph import FactorGraph
 from repro.inference.gibbs import GibbsSampler, _sigmoid
 from repro.learning.gradient import EvidenceScorer, weight_gradient
+from repro.reliability.errors import WorkerCrashError
+from repro.reliability.faults import maybe_fire
 from repro.util.rng import as_generator
 
 
@@ -110,6 +112,7 @@ class SGDLearner:
         self._compiled = compiled if compiled is not None else CompiledFactorGraph(graph)
         self._scorer = None
         self._pool = None
+        self.degradations = 0
         if n_workers >= 2:
             from repro.inference.parallel import GibbsWorkerPool
             from repro.util.rng import spawn
@@ -177,9 +180,23 @@ class SGDLearner:
     # ------------------------------------------------------------------ #
 
     def epoch(self) -> float:
-        """One SGD epoch; returns the gradient norm."""
+        """One SGD epoch; returns the gradient norm.
+
+        A chain worker crashing mid-epoch degrades the learner to serial
+        chains (``degradations`` counter) and reruns the epoch there —
+        learning continues instead of losing the fit."""
+        maybe_fire("learn.epoch")
         if self._pool is not None:
-            cond_worlds, free_worlds = self._epoch_worlds_parallel()
+            try:
+                cond_worlds, free_worlds = self._epoch_worlds_parallel()
+            except WorkerCrashError:
+                self._degrade_to_serial()
+                cond_worlds = self._conditioned.sample_worlds(
+                    self.samples_per_epoch, thin=self.sweeps_per_epoch
+                )
+                free_worlds = self._free.sample_worlds(
+                    self.samples_per_epoch, thin=self.sweeps_per_epoch
+                )
         else:
             cond_worlds = self._conditioned.sample_worlds(
                 self.samples_per_epoch, thin=self.sweeps_per_epoch
@@ -197,6 +214,24 @@ class SGDLearner:
         values = self.graph.weights.values_array() + self.step_size * grad
         self.graph.weights.set_values_array(values)
         return float(np.linalg.norm(grad))
+
+    def _degrade_to_serial(self) -> None:
+        """Permanent fallback after a chain worker crash: abandon the
+        pool and continue with in-process chains over the same (shared)
+        compilation.  Chain states restart fresh — the persistent-chain
+        warm start is lost, but the fit proceeds."""
+        self.degradations += 1
+        pool, self._pool = self._pool, None
+        try:
+            pool.close()
+        except OSError:
+            pass
+        self._conditioned = GibbsSampler(
+            self.graph, seed=self.rng, compiled=self._compiled
+        )
+        self._free = GibbsSampler(
+            self.free_graph, seed=self.rng, compiled=self._compiled
+        )
 
     def _epoch_worlds_parallel(self):
         """Advance both persistent chains concurrently; gather worlds."""

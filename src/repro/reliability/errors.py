@@ -1,0 +1,64 @@
+"""Typed failure signals for the reliability layer.
+
+Anything the supervision/transaction machinery needs to distinguish gets
+its own exception class; everything else stays a plain ``RuntimeError``
+(worker-side application errors keep the historic ``worker N failed``
+message so existing callers' handling is unchanged).
+"""
+
+from __future__ import annotations
+
+
+class ReliabilityError(RuntimeError):
+    """Base class for failures raised by the reliability layer."""
+
+
+class WorkerCrashError(ReliabilityError):
+    """A pool worker died or stopped responding mid-command.
+
+    Raised by :meth:`GibbsWorkerPool.send` / :meth:`~GibbsWorkerPool.recv`
+    instead of a bare ``EOFError``/``BrokenPipeError`` (dead worker) or an
+    indefinite hang (unresponsive worker).  Carries enough context for a
+    supervisor to decide between respawn and degradation.
+    """
+
+    def __init__(
+        self,
+        worker: int,
+        message: str,
+        *,
+        hung: bool = False,
+        exitcode: int | None = None,
+        last_traceback: str | None = None,
+    ) -> None:
+        detail = f"worker {worker}: {message}"
+        if last_traceback:
+            detail += f"\nlast worker traceback:\n{last_traceback}"
+        super().__init__(detail)
+        self.worker = worker
+        self.hung = hung
+        self.exitcode = exitcode
+        self.last_traceback = last_traceback
+
+
+class FaultInjected(ReliabilityError):
+    """Deterministic failure raised by an active :class:`FaultPlan`.
+
+    Tests catch this specific type so a genuine bug surfacing at the same
+    spot is never mistaken for the injected fault.
+    """
+
+    def __init__(self, site: str, note: str = "") -> None:
+        msg = f"injected fault at {site!r}"
+        if note:
+            msg += f" ({note})"
+        super().__init__(msg)
+        self.site = site
+
+
+class RollbackError(ReliabilityError):
+    """A transactional rollback failed to restore a consistent state.
+
+    Raised when the post-rollback ``check_consistency`` audit fails; the
+    engine should be considered corrupt and rebuilt from the WAL.
+    """

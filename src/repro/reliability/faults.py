@@ -1,0 +1,186 @@
+"""Deterministic fault-injection harness.
+
+A :class:`FaultPlan` is a seeded list of :class:`Fault` specs, activated
+with :func:`inject_faults`.  Instrumented code calls
+:func:`maybe_fire(site, ...) <maybe_fire>` at named injection points; the
+call is a no-op (one global read + ``None`` check) when no plan is
+active, so production paths pay nothing.
+
+Actions:
+
+``raise``
+    Raise :class:`FaultInjected` at the site (controller-side).
+``kill``
+    SIGKILL the target worker *before* the command is delivered
+    (``pool.send`` only) — the worker never processes it.
+``kill_after``
+    Replace the command with a worker-side ``fault_exit`` that runs the
+    original method and then ``os._exit``\\ s without replying — the
+    deterministic "killed mid-sweep after publishing" scenario.
+``drop``
+    Swallow the outgoing message (``pool.send`` only); the command times
+    out and recovery resends it.
+``delay``
+    Sleep ``fault.delay`` seconds at the site.
+``corrupt``
+    Scribble seeded random bytes over a shared-memory region named by
+    ``fault.region`` (sites that pass an ``export`` in context).
+
+All firing decisions are per-fault visit counters — no wall clock, no
+process-level randomness — so a plan replays identically.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.reliability.errors import FaultInjected
+
+#: Injection points instrumented across the stack.  Kept in one place so
+#: tests can iterate over "every injection point, one at a time".
+INJECTION_POINTS = (
+    "pool.send",
+    "pool.recv",
+    "sharded.sweep.start",
+    "engine.update.start",
+    "engine.update.patched",
+    "engine.update.inferred",
+    "engine.relearn.start",
+    "learn.epoch",
+    "ground.update.start",
+    "ground.update.finish",
+)
+
+_ACTIONS = frozenset(
+    {"raise", "kill", "kill_after", "drop", "delay", "corrupt"}
+)
+
+
+@dataclass
+class Fault:
+    """One planned failure.
+
+    Fires on the ``at``-th matching visit (1-based) to ``site``; with
+    ``repeat=True`` it keeps firing on every later visit too (used to
+    model a persistently failing worker that forces degradation).
+    ``worker`` / ``method`` narrow pool sites to one worker or command.
+    """
+
+    site: str
+    action: str = "raise"
+    at: int = 1
+    repeat: bool = False
+    worker: int | None = None
+    method: str | None = None
+    region: str | None = None
+    delay: float = 0.02
+    note: str = ""
+    # Internal visit counter (matching visits seen so far).
+    _visits: int = field(default=0, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+
+    def matches(self, site: str, ctx: dict) -> bool:
+        if site != self.site:
+            return False
+        if self.worker is not None and ctx.get("worker") != self.worker:
+            return False
+        if self.method is not None and ctx.get("method") != self.method:
+            return False
+        return True
+
+
+class FaultPlan:
+    """A seeded, deterministic schedule of faults.
+
+    ``fired`` records ``(site, action, context)`` tuples in firing order
+    so tests can assert the plan actually triggered.
+    """
+
+    def __init__(self, faults, seed: int = 0) -> None:
+        self.faults = [f if isinstance(f, Fault) else Fault(**f) for f in faults]
+        self.rng = np.random.default_rng(seed)
+        self.fired: list[tuple[str, str, dict]] = []
+
+    def fire(self, site: str, **ctx):
+        """Visit ``site``; return the triggered :class:`Fault` or None.
+
+        ``raise``/``delay``/``corrupt`` actions are executed here (the
+        caller needs no logic); ``kill``/``kill_after``/``drop`` are
+        returned for the caller to enact, since they need pool internals.
+        """
+        for fault in self.faults:
+            if not fault.matches(site, ctx):
+                continue
+            fault._visits += 1
+            due = (
+                fault._visits == fault.at
+                or (fault.repeat and fault._visits > fault.at)
+            )
+            if not due:
+                continue
+            self.fired.append((site, fault.action, dict(ctx)))
+            if fault.action == "raise":
+                raise FaultInjected(site, fault.note)
+            if fault.action == "delay":
+                time.sleep(fault.delay)
+                return fault
+            if fault.action == "corrupt":
+                export = ctx.get("export")
+                if export is not None:
+                    self._corrupt(export, fault.region)
+                return fault
+            return fault
+        return None
+
+    def _corrupt(self, export, region: str | None) -> None:
+        """Overwrite one exported region with seeded garbage."""
+        name = region if region is not None else "lit_var"
+        view = export.array(name)
+        raw = view.view(np.uint8).reshape(-1)
+        if raw.size:
+            raw[:] = self.rng.integers(0, 256, size=raw.size, dtype=np.uint8)
+
+    def fired_sites(self) -> list[str]:
+        return [site for site, _, _ in self.fired]
+
+
+# --------------------------------------------------------------------- #
+# Active-plan plumbing.
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    return _ACTIVE
+
+
+def maybe_fire(site: str, **ctx):
+    """Hook call placed at each injection point; no-op when inactive."""
+    plan = _ACTIVE
+    if plan is None:
+        return None
+    return plan.fire(site, **ctx)
+
+
+@contextmanager
+def inject_faults(plan: FaultPlan):
+    """Activate ``plan`` for the duration of the block (controller side).
+
+    Worker processes forked while a plan is active inherit the module
+    global, but all hooks live on controller-side code paths, so faults
+    only ever fire in the driving process.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,137 @@
+"""Write-ahead delta log.
+
+A :class:`DeltaLog` records every update transaction *before* it is
+applied: ``begin(payload)`` appends the update's description (a
+:class:`~repro.graph.delta.FactorGraphDelta`, raw relation rows, or
+compiled patch ops — anything picklable), ``mark`` stamps intermediate
+pipeline stages, and ``commit``/``rollback`` close the transaction.
+After a crash, :meth:`pending` returns the payloads of transactions that
+began but never committed — exactly the updates that must be retried —
+and :meth:`committed` replays the applied history onto a fresh engine.
+
+On-disk format: consecutive pickle frames, one dict per record, flushed
+after every append.  A torn final frame (crash mid-write) is tolerated
+on read: the record is discarded, which is safe because a payload whose
+``begin`` frame is incomplete was by construction never applied.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import pickle
+
+
+class DeltaLog:
+    """Append-only transaction log, file-backed or in-memory.
+
+    ``path=None`` keeps the log in memory (tests, ephemeral engines);
+    with a path the file is opened append-mode and every record is
+    flushed + fsync'd so the WAL survives the writing process.
+    """
+
+    def __init__(self, path=None) -> None:
+        self.path = os.fspath(path) if path is not None else None
+        self._records: list[dict] = []
+        self._fh = None
+        if self.path is not None:
+            if os.path.exists(self.path):
+                self._records = self._read_frames(self.path)
+            self._fh = open(self.path, "ab")
+        existing = [r["txn"] for r in self._records]
+        self._next_txn = max(existing, default=0) + 1
+
+    @staticmethod
+    def _read_frames(path: str) -> list[dict]:
+        records = []
+        with open(path, "rb") as fh:
+            while True:
+                try:
+                    records.append(pickle.load(fh))
+                except EOFError:
+                    break
+                except (pickle.UnpicklingError, ValueError):
+                    # Torn final frame from a crash mid-append; the
+                    # transaction it belonged to never applied.
+                    break
+        return records
+
+    def _append(self, record: dict) -> None:
+        self._records.append(record)
+        if self._fh is not None:
+            buf = io.BytesIO()
+            pickle.dump(record, buf)
+            self._fh.write(buf.getvalue())
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    # ------------------------------------------------------------------ #
+
+    def begin(self, payload) -> int:
+        """Log an update before applying it; returns the transaction id."""
+        txn = self._next_txn
+        self._next_txn += 1
+        self._append({"txn": txn, "event": "begin", "payload": payload})
+        return txn
+
+    def mark(self, txn: int, stage: str, payload=None) -> None:
+        """Stamp an intermediate stage (e.g. ``grounded``, ``patched``)."""
+        self._append(
+            {"txn": txn, "event": "mark", "stage": stage, "payload": payload}
+        )
+
+    def commit(self, txn: int) -> None:
+        self._append({"txn": txn, "event": "commit"})
+
+    def rollback(self, txn: int, reason: str = "") -> None:
+        self._append({"txn": txn, "event": "rollback", "reason": reason})
+
+    # ------------------------------------------------------------------ #
+
+    def records(self) -> list[dict]:
+        return list(self._records)
+
+    def _status(self) -> dict:
+        status: dict[int, str] = {}
+        for rec in self._records:
+            if rec["event"] == "begin":
+                status.setdefault(rec["txn"], "pending")
+            elif rec["event"] in ("commit", "rollback"):
+                status[rec["txn"]] = rec["event"]
+        return status
+
+    def pending(self) -> list[tuple[int, object]]:
+        """(txn, payload) of transactions begun but never closed."""
+        status = self._status()
+        return [
+            (rec["txn"], rec["payload"])
+            for rec in self._records
+            if rec["event"] == "begin" and status.get(rec["txn"]) == "pending"
+        ]
+
+    def committed(self) -> list[tuple[int, object]]:
+        """(txn, payload) of committed transactions, in apply order."""
+        status = self._status()
+        return [
+            (rec["txn"], rec["payload"])
+            for rec in self._records
+            if rec["event"] == "begin" and status.get(rec["txn"]) == "commit"
+        ]
+
+    def stages(self, txn: int) -> list[str]:
+        return [
+            rec["stage"]
+            for rec in self._records
+            if rec["event"] == "mark" and rec["txn"] == txn
+        ]
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,707 @@
+"""Fault-injection and crash-recovery suite.
+
+Three layers, matching the reliability stack:
+
+* Unit: :class:`RetryPolicy` backoff, :class:`DeltaLog` WAL framing
+  (including torn final frames), :class:`FaultPlan` visit semantics.
+* Pool/sharded: typed :class:`WorkerCrashError` on dead and hung
+  workers; a worker killed mid-``shard_sweep`` (before or after
+  publishing) is respawned from the export + patch-op log + rng
+  fast-forward and the chain's final state is **bit-identical** to a
+  never-faulted run; persistent faults degrade gracefully to the serial
+  kernel; shared-memory corruption is detected and repaired; no
+  ``/dev/shm`` segment leaks, even across a kill + respawn.
+* Engine: for every engine-level injection point, a seeded raise rolls
+  ``apply_update``/``relearn`` back to the pre-update state (caches
+  verified consistent) and the retried call matches a never-faulted twin
+  engine exactly; the WAL-backed pipeline never re-grounds a grounded
+  update and replays its committed history onto a fresh stack.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import EngineConfig, IncrementalEngine, RerunEngine
+from repro.graph import BiasFactor, FactorGraph, FactorGraphDelta
+from repro.grounding import IncrementalGrounder
+from repro.inference.parallel import GibbsWorkerPool, ShardedGibbsSampler
+from repro.learning.sgd import SGDLearner
+from repro.reliability import (
+    DeltaLog,
+    Fault,
+    FaultInjected,
+    FaultPlan,
+    ReliableUpdatePipeline,
+    RetryPolicy,
+    WorkerCrashError,
+    inject_faults,
+)
+
+from tests.helpers import chain_ising_graph, random_pairwise_graph
+from tests.test_grounding import spouse_db, spouse_program
+
+
+def shm_segments():
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+
+
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.001, max_delay=0.01)
+
+
+# --------------------------------------------------------------------- #
+# Unit layer
+
+
+class TestRetryPolicy:
+    def test_delays_deterministic_and_bounded(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=0.5, seed=7
+        )
+        a = list(policy.delays())
+        b = list(policy.delays())
+        assert a == b
+        assert len(a) == 4  # one backoff between each pair of attempts
+        assert all(d <= 0.5 * (1 + policy.jitter) for d in a)
+        assert a[0] >= 0.1
+
+    def test_call_retries_then_succeeds(self):
+        calls = []
+
+        def flaky(attempt):
+            calls.append(attempt)
+            if attempt < 3:
+                raise ValueError("boom")
+            return "ok"
+
+        retried = []
+        out = RetryPolicy(max_attempts=4, base_delay=0).call(
+            flaky, on_retry=lambda n, exc: retried.append(n), sleep=lambda s: None
+        )
+        assert out == "ok"
+        assert calls == [1, 2, 3]
+        assert retried == [1, 2]
+
+    def test_call_exhausts_and_reraises(self):
+        def always(attempt):
+            raise ValueError(f"attempt {attempt}")
+
+        with pytest.raises(ValueError, match="attempt 2"):
+            RetryPolicy(max_attempts=2, base_delay=0).call(
+                always, sleep=lambda s: None
+            )
+
+    def test_non_retryable_raises_immediately(self):
+        calls = []
+
+        def fails(attempt):
+            calls.append(attempt)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=5, base_delay=0).call(
+                fails, retryable=(ValueError,), sleep=lambda s: None
+            )
+        assert calls == [1]
+
+
+class TestDeltaLog:
+    def test_in_memory_lifecycle(self):
+        wal = DeltaLog()
+        t1 = wal.begin({"u": 1})
+        wal.mark(t1, "grounded")
+        wal.commit(t1)
+        t2 = wal.begin({"u": 2})
+        wal.rollback(t2, reason="boom")
+        t3 = wal.begin({"u": 3})
+        assert wal.committed() == [(t1, {"u": 1})]
+        assert wal.pending() == [(t3, {"u": 3})]
+        assert wal.stages(t1) == ["grounded"]
+
+    def test_file_backed_survives_reopen(self, tmp_path):
+        path = tmp_path / "updates.wal"
+        with DeltaLog(path) as wal:
+            t1 = wal.begin({"rows": [(1, 2)]})
+            wal.commit(t1)
+            wal.begin({"rows": [(3, 4)]})  # never closed: pending
+        with DeltaLog(path) as wal2:
+            assert wal2.committed() == [(t1, {"rows": [(1, 2)]})]
+            assert [p for _t, p in wal2.pending()] == [{"rows": [(3, 4)]}]
+            # Transaction ids keep counting past the reloaded history.
+            assert wal2.begin({"rows": []}) > t1
+
+    def test_torn_final_frame_discarded(self, tmp_path):
+        path = tmp_path / "torn.wal"
+        with DeltaLog(path) as wal:
+            t1 = wal.begin({"u": 1})
+            wal.commit(t1)
+        with open(path, "ab") as fh:
+            frame = pickle.dumps({"txn": 2, "event": "begin", "payload": {"u": 2}})
+            fh.write(frame[: len(frame) // 2])  # crash mid-append
+        with DeltaLog(path) as wal2:
+            assert wal2.committed() == [(t1, {"u": 1})]
+            assert wal2.pending() == []
+
+
+class TestFaultPlan:
+    def test_fires_on_nth_visit_only(self):
+        plan = FaultPlan([Fault(site="x", at=2)])
+        with inject_faults(plan):
+            from repro.reliability.faults import maybe_fire
+
+            assert maybe_fire("x") is None
+            with pytest.raises(FaultInjected):
+                maybe_fire("x")
+            assert maybe_fire("x") is None  # not repeating
+        assert plan.fired_sites() == ["x"]
+
+    def test_repeat_and_context_narrowing(self):
+        plan = FaultPlan(
+            [Fault(site="pool.send", action="drop", worker=1, at=1, repeat=True)]
+        )
+        with inject_faults(plan):
+            from repro.reliability.faults import maybe_fire
+
+            assert maybe_fire("pool.send", worker=0) is None
+            assert maybe_fire("pool.send", worker=1).action == "drop"
+            assert maybe_fire("pool.send", worker=1).action == "drop"
+        assert len(plan.fired) == 2
+
+    def test_inactive_is_noop(self):
+        from repro.reliability.faults import active_plan, maybe_fire
+
+        assert active_plan() is None
+        assert maybe_fire("anything", worker=3) is None
+
+
+# --------------------------------------------------------------------- #
+# Pool / sharded layer
+
+
+def sharded(graph, seed=3, **kw):
+    kw.setdefault("command_timeout", 15.0)
+    kw.setdefault("retry", FAST_RETRY)
+    return ShardedGibbsSampler(graph, n_workers=2, seed=seed, **kw)
+
+
+def run_sharded(seed, sweeps, plan=None, graph_seed=0, **kw):
+    graph = random_pairwise_graph(18, density=0.2, seed=graph_seed)
+    sampler = sharded(graph, seed=seed, **kw)
+    try:
+        if plan is not None:
+            with inject_faults(plan):
+                sampler.run(sweeps)
+        else:
+            sampler.run(sweeps)
+        return sampler.state.copy(), sampler.pool.respawns if sampler.pool else None
+    finally:
+        sampler.close()
+
+
+class TestWorkerCrashError:
+    def test_dead_worker_typed_error(self):
+        graph = chain_ising_graph(8)
+        from repro.graph.compiled import CompiledFactorGraph
+
+        pool = GibbsWorkerPool(CompiledFactorGraph(graph), 1, command_timeout=5.0)
+        try:
+            pool._procs[0].kill()
+            pool._procs[0].join(5)
+            with pytest.raises(WorkerCrashError) as info:
+                pool.call(0, "chain_states", chain_ids=[])
+            assert info.value.worker == 0
+            assert not info.value.hung
+            assert info.value.exitcode is not None
+        finally:
+            pool.close()
+
+    def test_hung_command_typed_error_within_timeout(self):
+        graph = chain_ising_graph(8)
+        from repro.graph.compiled import CompiledFactorGraph
+        import time
+
+        pool = GibbsWorkerPool(CompiledFactorGraph(graph), 1)
+        try:
+            start = time.monotonic()
+            # No command outstanding: a live worker never replies.
+            with pytest.raises(WorkerCrashError) as info:
+                pool.recv(0, timeout=0.4)
+            assert info.value.hung
+            assert time.monotonic() - start < 5.0
+        finally:
+            pool.close()
+
+    def test_respawn_after_worker_error_keeps_traceback(self):
+        graph = chain_ising_graph(8)
+        from repro.graph.compiled import CompiledFactorGraph
+
+        pool = GibbsWorkerPool(CompiledFactorGraph(graph), 1, command_timeout=5.0)
+        try:
+            with pytest.raises(RuntimeError, match="worker 0 failed"):
+                pool.call(0, "chain_states", chain_ids=[99])
+            pool._procs[0].kill()
+            pool._procs[0].join(5)
+            with pytest.raises(WorkerCrashError) as info:
+                pool.recv(0)
+            assert info.value.last_traceback is not None
+            pool.respawn_worker(0)
+            assert pool.respawns == 1
+            pool.call(0, "chain_init", chain_id=0, rng=np.random.default_rng(0))
+            states = pool.call(0, "chain_states", chain_ids=[0])
+            assert states.shape == (1, graph.num_vars)
+        finally:
+            pool.close()
+
+
+class TestKillRecoveryParity:
+    @pytest.mark.parametrize(
+        "action,worker,at",
+        [
+            ("kill", 0, 2),
+            ("kill", 1, 3),
+            ("kill_after", 0, 3),
+            ("kill_after", 1, 2),
+        ],
+    )
+    def test_killed_mid_sweep_matches_fault_free(self, action, worker, at):
+        seed, sweeps = 11 + at, 5
+        baseline, _ = run_sharded(seed, sweeps)
+        plan = FaultPlan(
+            [
+                Fault(
+                    site="pool.send",
+                    action=action,
+                    method="shard_sweep",
+                    worker=worker,
+                    at=at,
+                )
+            ]
+        )
+        state, respawns = run_sharded(seed, sweeps, plan=plan)
+        assert len(plan.fired) == 1
+        assert respawns == 1
+        assert np.array_equal(state, baseline)
+
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_randomized_kill_schedule(self, seed):
+        rng = np.random.default_rng(seed)
+        worker = int(rng.integers(0, 2))
+        at = int(rng.integers(1, 4))
+        action = ["kill", "kill_after"][int(rng.integers(0, 2))]
+        baseline, _ = run_sharded(seed, 4, graph_seed=seed)
+        plan = FaultPlan(
+            [
+                Fault(
+                    site="pool.send",
+                    action=action,
+                    method="shard_sweep",
+                    worker=worker,
+                    at=at,
+                )
+            ]
+        )
+        state, respawns = run_sharded(seed, 4, plan=plan, graph_seed=seed)
+        assert respawns == 1
+        assert np.array_equal(state, baseline)
+
+    def test_drop_recovered_via_timeout_resend(self):
+        seed, sweeps = 5, 4
+        baseline, _ = run_sharded(seed, sweeps)
+        plan = FaultPlan(
+            [
+                Fault(
+                    site="pool.send",
+                    action="drop",
+                    method="shard_sweep",
+                    worker=1,
+                    at=2,
+                )
+            ]
+        )
+        state, respawns = run_sharded(
+            seed, sweeps, plan=plan, command_timeout=0.5
+        )
+        assert respawns == 1
+        assert np.array_equal(state, baseline)
+
+    def test_delay_is_harmless(self):
+        seed, sweeps = 6, 3
+        baseline, _ = run_sharded(seed, sweeps)
+        plan = FaultPlan(
+            [
+                Fault(site="pool.send", action="delay", delay=0.05, at=2),
+                Fault(site="pool.recv", action="delay", delay=0.05, at=2),
+            ]
+        )
+        state, respawns = run_sharded(seed, sweeps, plan=plan)
+        assert sorted(plan.fired_sites()) == ["pool.recv", "pool.send"]
+        assert respawns == 0
+        assert np.array_equal(state, baseline)
+
+    def test_persistent_fault_degrades_to_serial(self):
+        graph = random_pairwise_graph(18, density=0.2, seed=0)
+        plan = FaultPlan(
+            [
+                Fault(
+                    site="pool.send",
+                    action="kill",
+                    method="shard_sweep",
+                    worker=0,
+                    at=1,
+                    repeat=True,
+                )
+            ]
+        )
+        sampler = sharded(graph, seed=4, retry=RetryPolicy(max_attempts=2, base_delay=0.001))
+        try:
+            with inject_faults(plan):
+                sampler.run(3)
+            assert sampler.degradations == 1
+            assert sampler.pool is None
+            assert sampler.total_respawns >= 1
+            assert sampler.sweeps_done == 3
+            marg = sampler.estimate_marginals(10)
+            assert marg.shape == (graph.num_vars,)
+            assert np.all((marg >= 0) & (marg <= 1))
+        finally:
+            sampler.close()
+
+    def test_corruption_detected_and_repaired(self):
+        seed, sweeps = 7, 4
+        baseline, _ = run_sharded(seed, sweeps)
+        plan = FaultPlan(
+            [
+                Fault(
+                    site="sharded.sweep.start",
+                    action="corrupt",
+                    region="ising_row",
+                    at=2,
+                )
+            ]
+        )
+        graph = random_pairwise_graph(18, density=0.2, seed=0)
+        sampler = sharded(graph, seed=seed, audit_every=1)
+        try:
+            with inject_faults(plan):
+                sampler.run(sweeps)
+            assert plan.fired_sites() == ["sharded.sweep.start"]
+            assert sampler.repairs >= 1
+            assert np.array_equal(sampler.state, baseline)
+        finally:
+            sampler.close()
+
+    def test_no_shm_leak_across_kill_respawn_close(self):
+        before = shm_segments()
+        plan = FaultPlan(
+            [
+                Fault(
+                    site="pool.send",
+                    action="kill",
+                    method="shard_sweep",
+                    worker=0,
+                    at=2,
+                )
+            ]
+        )
+        state, respawns = run_sharded(8, 4, plan=plan)
+        assert respawns == 1
+        assert shm_segments() - before == set()
+
+
+class TestLearnerDegradation:
+    def test_pool_crash_mid_epoch_falls_back_to_serial(self):
+        graph = chain_ising_graph(10, coupling=0.4, bias=0.2)
+        graph.set_evidence(0, True)
+        learner = SGDLearner(graph, seed=0, n_workers=2)
+        plan = FaultPlan(
+            [
+                Fault(
+                    site="pool.send",
+                    action="kill",
+                    method="chain_sample_worlds",
+                    worker=0,
+                    at=1,
+                )
+            ]
+        )
+        try:
+            with inject_faults(plan):
+                history = learner.fit(2, record_loss=True)
+            assert learner.degradations == 1
+            assert learner._pool is None
+            assert len(history.grad_norms) == 2
+            assert np.isfinite(history.losses).all()
+        finally:
+            learner.close()
+
+
+# --------------------------------------------------------------------- #
+# Engine layer
+
+
+def feature_delta(fg_weights_len, var, weight, key):
+    delta = FactorGraphDelta()
+    delta.new_weight_entries.append((key, weight, False))
+    delta.new_factors.append(BiasFactor(weight_id=fg_weights_len, var=var))
+    return delta
+
+
+def small_config(**overrides):
+    base = dict(
+        materialization_samples=120,
+        inference_steps=80,
+        inference_samples=60,
+        variational_inference_samples=80,
+        burn_in=5,
+        seed=0,
+    )
+    base.update(overrides)
+    return EngineConfig(**base)
+
+
+ENGINE_UPDATE_SITES = [
+    "engine.update.start",
+    "engine.update.patched",
+    "engine.update.inferred",
+]
+
+
+def check_engine_caches(engine):
+    """check_consistency on every live cache the engine holds (caches are
+    brought current first — they may legitimately lag the weight store)."""
+    sampler = getattr(engine, "_sampler", None)
+    if sampler is not None and hasattr(sampler, "cache"):
+        sampler.cache.refresh_weights(sampler.state)
+        sampler.cache.check_consistency(sampler.state)
+    learner = getattr(engine, "_learner", None)
+    if learner is not None and learner._pool is None and learner._conditioned:
+        for chain in (learner._conditioned, learner._free):
+            chain.cache.refresh_weights(chain.state)
+            chain.cache.check_consistency(chain.state)
+
+
+class TestIncrementalEngineRollback:
+    def make(self):
+        fg = chain_ising_graph(6, coupling=0.5, bias=0.2)
+        engine = IncrementalEngine(fg, small_config())
+        engine.materialize()
+        return fg, engine
+
+    def delta(self, fg):
+        return feature_delta(len(fg.weights), 2, 0.6, "f_new")
+
+    @pytest.mark.parametrize("site", ENGINE_UPDATE_SITES)
+    def test_rollback_then_retry_matches_fresh_twin(self, site):
+        fg1, faulted = self.make()
+        fg2, twin = self.make()
+        cursor_before = faulted.sampling._cursor
+        with inject_faults(FaultPlan([Fault(site=site)])):
+            with pytest.raises(FaultInjected):
+                faulted.apply_update(self.delta(fg1))
+        assert faulted.rollbacks == 1
+        assert faulted.sampling._cursor == cursor_before
+        assert faulted.current_graph.num_factors == fg1.num_factors
+        assert faulted.wal.pending() == []
+        out_retry = faulted.apply_update(self.delta(fg1))
+        out_fresh = twin.apply_update(self.delta(fg2))
+        assert out_retry.strategy == out_fresh.strategy
+        assert np.array_equal(out_retry.marginals, out_fresh.marginals)
+        assert len(faulted.wal.committed()) == 1
+
+    def test_rollback_restores_variational_state(self):
+        fg1, faulted = self.make()
+        fg2, twin = self.make()
+        graph_before = faulted.variational.current
+        with inject_faults(FaultPlan([Fault(site="engine.update.inferred")])):
+            with pytest.raises(FaultInjected):
+                faulted.apply_update(FactorGraphDelta(evidence_updates={1: True}))
+        # The spliced variational graph built by the failed attempt is
+        # discarded; the pre-update reference is back in place.
+        assert faulted.variational.current is graph_before
+        out_retry = faulted.apply_update(FactorGraphDelta(evidence_updates={1: True}))
+        out_fresh = twin.apply_update(FactorGraphDelta(evidence_updates={1: True}))
+        assert np.array_equal(out_retry.marginals, out_fresh.marginals)
+
+    @pytest.mark.parametrize("site", ["engine.relearn.start", "learn.epoch"])
+    def test_relearn_rollback_then_retry_matches_twin(self, site):
+        _fg1, faulted = self.make()
+        _fg2, twin = self.make()
+        at = 2 if site == "learn.epoch" else 1
+        weights_before = faulted.current_graph.weights.values_array().copy()
+        with inject_faults(FaultPlan([Fault(site=site, at=at)])):
+            with pytest.raises(FaultInjected):
+                faulted.relearn(3)
+        assert faulted.rollbacks == 1
+        np.testing.assert_array_equal(
+            faulted.current_graph.weights.values_array(), weights_before
+        )
+        check_engine_caches(faulted)
+        h1 = faulted.relearn(3)
+        h2 = twin.relearn(3)
+        assert h1.losses == h2.losses
+        np.testing.assert_array_equal(
+            faulted.current_graph.weights.values_array(),
+            twin.current_graph.weights.values_array(),
+        )
+
+
+class TestRerunEngineRollback:
+    def make(self):
+        fg = chain_ising_graph(6, coupling=0.5, bias=0.2)
+        engine = RerunEngine(fg, small_config(inference_samples=40))
+        return fg, engine
+
+    @pytest.mark.parametrize("site", ENGINE_UPDATE_SITES)
+    def test_rollback_then_retry_matches_fresh_twin(self, site):
+        fg1, faulted = self.make()
+        fg2, twin = self.make()
+        d1 = lambda fg: feature_delta(len(fg.weights), 1, 0.3, "f1")
+        out_a = faulted.apply_update(d1(fg1))
+        out_b = twin.apply_update(d1(fg2))
+        assert np.array_equal(out_a.marginals, out_b.marginals)
+
+        def d2(engine):
+            return feature_delta(
+                len(engine.current_graph.weights), 3, -0.4, "f2"
+            )
+
+        with inject_faults(FaultPlan([Fault(site=site)])):
+            with pytest.raises(FaultInjected):
+                faulted.apply_update(d2(faulted))
+        assert faulted.rollbacks == 1
+        check_engine_caches(faulted)
+        out_retry = faulted.apply_update(d2(faulted))
+        out_fresh = twin.apply_update(d2(twin))
+        assert np.array_equal(out_retry.marginals, out_fresh.marginals)
+        assert faulted.updates_patched == twin.updates_patched
+
+    def test_relearn_rollback_restores_learner_chains(self):
+        fg1, faulted = self.make()
+        fg2, twin = self.make()
+        faulted.relearn(2, record_loss=False)
+        twin.relearn(2, record_loss=False)
+        with inject_faults(FaultPlan([Fault(site="learn.epoch", at=2)])):
+            with pytest.raises(FaultInjected):
+                faulted.relearn(3)
+        assert faulted.rollbacks == 1
+        check_engine_caches(faulted)
+        h1 = faulted.relearn(3)
+        h2 = twin.relearn(3)
+        assert h1.grad_norms == h2.grad_norms
+        np.testing.assert_array_equal(
+            faulted.current_graph.weights.values_array(),
+            twin.current_graph.weights.values_array(),
+        )
+
+
+# --------------------------------------------------------------------- #
+# WAL pipeline layer
+
+
+def make_stack(wal=None, retry=None):
+    program = spouse_program()
+    db = spouse_db(program)
+    grounder = IncrementalGrounder.from_scratch(program, db)
+    engine = IncrementalEngine(grounder.graph, small_config())
+    engine.materialize()
+    return grounder, engine, ReliableUpdatePipeline(
+        grounder, engine, wal=wal, retry=retry or FAST_RETRY
+    )
+
+
+UPDATE = {
+    "inserts": {
+        "PersonCandidate": [("s3", "m5"), ("s3", "m6")],
+        "PhraseFeature": [("m5", "m6", "and his wife")],
+    }
+}
+
+
+class TestReliablePipeline:
+    def test_clean_update_commits(self):
+        _g, _e, pipe = make_stack()
+        outcome = pipe.apply_update(**UPDATE)
+        assert pipe.updates == 1
+        assert pipe.retries == 0
+        assert len(pipe.wal.committed()) == 1
+        assert outcome.marginals.shape[0] == pipe.engine.current_graph.num_vars
+
+    def test_fault_before_grounding_regrounds_safely(self):
+        _g0, _e0, clean = make_stack()
+        baseline = clean.apply_update(**UPDATE)
+        grounder, _e, pipe = make_stack()
+        with inject_faults(FaultPlan([Fault(site="ground.update.start")])):
+            outcome = pipe.apply_update(**UPDATE)
+        assert pipe.retries == 1
+        assert pipe.regrounds_skipped == 0
+        # Single application of the relation delta.
+        assert grounder.db.relation("PersonCandidate").count(("s3", "m5")) == 1
+        assert np.array_equal(outcome.marginals, baseline.marginals)
+
+    @pytest.mark.parametrize(
+        "site,skips",
+        [
+            # Raise after the grounder stashed its result: the retry
+            # resumes from the stash (regrounds_skipped increments).
+            ("ground.update.finish", 1),
+            # Raise inside the engine: grounding completed inside this
+            # same pipeline attempt, so the retry reuses it directly.
+            ("engine.update.start", 0),
+        ],
+    )
+    def test_fault_after_grounding_never_regrounds(self, site, skips):
+        _g0, _e0, clean = make_stack()
+        baseline = clean.apply_update(**UPDATE)
+        grounder, _e, pipe = make_stack()
+        with inject_faults(FaultPlan([Fault(site=site)])):
+            outcome = pipe.apply_update(**UPDATE)
+        assert pipe.retries == 1
+        assert pipe.regrounds_skipped == skips
+        # The relation delta landed exactly once despite the retry.
+        assert grounder.db.relation("PersonCandidate").count(("s3", "m5")) == 1
+        assert np.array_equal(outcome.marginals, baseline.marginals)
+
+    def test_relearn_fault_does_not_reapply_engine_update(self, tmp_path):
+        # A fault *after* the engine committed its update (mid-relearn)
+        # must retry only the relearn: re-running apply_update would
+        # double-apply the delta, silently diverging from a WAL replay.
+        wal = DeltaLog(tmp_path / "relearn.wal")
+        _g1, engine, pipe = make_stack(wal=wal)
+        with inject_faults(FaultPlan([Fault(site="learn.epoch", at=1)])):
+            outcome = pipe.apply_update(relearn_epochs=2, **UPDATE)
+        assert pipe.retries == 1
+        assert engine.rollbacks == 1  # the relearn rolled back, not the update
+        assert len(engine.wal.committed()) == 1  # engine update applied once
+        grounder2, engine2, _p2 = make_stack()
+        outcomes = pipe.replay(grounder2, engine2)
+        assert len(outcomes) == 1
+        assert np.array_equal(outcomes[0].marginals, outcome.marginals)
+        np.testing.assert_array_equal(
+            engine.current_graph.weights.values_array(),
+            engine2.current_graph.weights.values_array(),
+        )
+
+    def test_exhausted_retries_roll_back_wal(self):
+        _g, _e, pipe = make_stack()
+        plan = FaultPlan(
+            [Fault(site="engine.update.start", at=1, repeat=True)]
+        )
+        with inject_faults(plan):
+            with pytest.raises(FaultInjected):
+                pipe.apply_update(**UPDATE)
+        assert pipe.rollbacks == 1
+        assert pipe.wal.committed() == []
+        assert pipe.wal.pending() == []
+
+    def test_replay_committed_history(self, tmp_path):
+        wal = DeltaLog(tmp_path / "pipeline.wal")
+        _g, engine, pipe = make_stack(wal=wal)
+        baseline = pipe.apply_update(**UPDATE)
+        grounder2, engine2, _pipe2 = make_stack()
+        outcomes = pipe.replay(grounder2, engine2)
+        assert len(outcomes) == 1
+        assert np.array_equal(outcomes[0].marginals, baseline.marginals)
