@@ -29,6 +29,7 @@ from repro.core.engine import (
     EngineConfig,
     IncrementalEngine,
     InferenceOutcome,
+    ReadSnapshot,
     RerunEngine,
 )
 from repro.core.optimizer import OptimizerDecision, choose_strategy
@@ -46,6 +47,7 @@ __all__ = [
     "IncrementalEngine",
     "InferenceOutcome",
     "OptimizerDecision",
+    "ReadSnapshot",
     "RerunEngine",
     "SampleMaterialization",
     "StrawmanMaterialization",

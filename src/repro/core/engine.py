@@ -123,6 +123,36 @@ class InferenceOutcome:
     details: dict = field(default_factory=dict)
 
 
+@dataclass(frozen=True)
+class ReadSnapshot:
+    """A consistent, zero-copy view of an engine's answered marginals.
+
+    Engines *replace* their marginal array on every committed update
+    (``_last_marginals`` is never mutated in place), so a snapshot is a
+    read-only numpy view over the committed array: holding it costs
+    nothing and stays bit-exact while later updates commit underneath —
+    snapshot isolation by immutability.  ``txn`` counts the engine's
+    committed updates at capture time; the service re-stamps snapshots
+    with its WAL transaction id.
+
+    ``chain_state`` (optional) reuses the live chain assignment —
+    zero-copy out of the sharded sampler's shared-memory export when one
+    is running.  Unlike ``marginals`` it views live (mutated-in-place)
+    buffers: it is consistent at update boundaries, not across them.
+    """
+
+    marginals: np.ndarray
+    txn: int
+    num_vars: int
+    chain_state: np.ndarray | None = None
+
+
+def _read_only(arr: np.ndarray) -> np.ndarray:
+    view = arr.view()
+    view.flags.writeable = False
+    return view
+
+
 def _relearn(engine, compiled, num_epochs: int, record_loss: bool, learner_kwargs):
     """Shared persistent-relearn step of both engines.
 
@@ -188,6 +218,21 @@ class IncrementalEngine:
         self.learns_cold = 0
         self.wal = DeltaLog(self.config.wal_path) if self.config.transactional else None
         self.rollbacks = 0
+        self.committed_updates = 0
+
+    # ------------------------------------------------------------------ #
+
+    def read_snapshot(self) -> ReadSnapshot | None:
+        """Zero-copy snapshot of the last committed marginals (or None
+        before the first inference).  See :class:`ReadSnapshot`."""
+        if self._last_marginals is None:
+            return None
+        marginals = _read_only(self._last_marginals)
+        return ReadSnapshot(
+            marginals=marginals,
+            txn=self.committed_updates,
+            num_vars=int(marginals.shape[0]),
+        )
 
     # ------------------------------------------------------------------ #
 
@@ -246,7 +291,9 @@ class IncrementalEngine:
         its pre-update state, so the retried apply matches a never-failed
         one exactly (serial components; pool-backed ones rebuild cold)."""
         if not self.config.transactional:
-            return self._apply_update_inner(delta)
+            outcome = self._apply_update_inner(delta)
+            self.committed_updates += 1
+            return outcome
         snap = IncrementalUpdateSnapshot(self)
         txn = self.wal.begin(delta)
         try:
@@ -258,6 +305,7 @@ class IncrementalEngine:
             self.wal.rollback(txn, reason=repr(exc))
             raise
         self.wal.commit(txn)
+        self.committed_updates += 1
         return outcome
 
     def _apply_update_inner(self, delta: FactorGraphDelta) -> InferenceOutcome:
@@ -491,6 +539,31 @@ class RerunEngine:
         self.learns_cold = 0
         self.wal = DeltaLog(self.config.wal_path) if self.config.transactional else None
         self.rollbacks = 0
+        self.committed_updates = 0
+
+    def read_snapshot(self) -> ReadSnapshot | None:
+        """Zero-copy snapshot of the last committed marginals (or None
+        before the first inference).
+
+        When the persistent sampler is sharded, ``chain_state`` reuses
+        the shared-memory export's published state buffer directly
+        (:meth:`ShardedGibbsSampler.state_view`) — no pool round-trip, no
+        copy; see :class:`ReadSnapshot` for its consistency caveat."""
+        if self._last_marginals is None:
+            return None
+        marginals = _read_only(self._last_marginals)
+        chain_state = None
+        view = getattr(self._sampler, "state_view", None)
+        if view is not None:
+            chain_state = view()
+        elif self._sampler is not None:
+            chain_state = _read_only(self._sampler.state)
+        return ReadSnapshot(
+            marginals=marginals,
+            txn=self.committed_updates,
+            num_vars=int(marginals.shape[0]),
+            chain_state=chain_state,
+        )
 
     def _fresh_sampler(self):
         from repro.graph.compiled import CompiledFactorGraph
@@ -512,7 +585,9 @@ class RerunEngine:
         in patch → sample rolls the compiled substrate, the persistent
         sampler and the rng back to the pre-update state)."""
         if not self.config.transactional:
-            return self._apply_update_inner(delta)
+            outcome = self._apply_update_inner(delta)
+            self.committed_updates += 1
+            return outcome
         snap = RerunUpdateSnapshot(self)
         txn = self.wal.begin(delta)
         try:
@@ -524,6 +599,7 @@ class RerunEngine:
             self.wal.rollback(txn, reason=repr(exc))
             raise
         self.wal.commit(txn)
+        self.committed_updates += 1
         return outcome
 
     def _apply_update_inner(self, delta: FactorGraphDelta) -> InferenceOutcome:

@@ -276,6 +276,18 @@ class FactorGraph:
         self._evidence_view = MappingProxyType(self._evidence)
         self._evidence_arrays = None
 
+    def __getstate__(self):
+        # MappingProxyType is not picklable; the view is rebuilt over
+        # the evidence dict on load (service checkpoints pickle whole
+        # graphs).
+        state = self.__dict__.copy()
+        state.pop("_evidence_view", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._evidence_view = MappingProxyType(self._evidence)
+
     # ------------------------------------------------------------------ #
     # Variables
     # ------------------------------------------------------------------ #

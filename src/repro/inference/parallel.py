@@ -237,6 +237,16 @@ class SharedGraphExport:
         capacity for growable regions — slice by the logical size)."""
         return self._views[name]
 
+    def readonly_view(self, name: str, size: int | None = None) -> np.ndarray:
+        """Read-only, zero-copy view of a region (optionally its logical
+        prefix) — the service read path's handle on live shared state:
+        no pool round-trip, no copy, and accidental mutation raises."""
+        view = (
+            self._views[name] if size is None else self._views[name][:size]
+        ).view()
+        view.flags.writeable = False
+        return view
+
     def push_weights(self, store) -> None:
         """Publish the store's current values + version to the workers.
 
@@ -1361,6 +1371,27 @@ class ShardedGibbsSampler:
         if self._serial is not None:
             return self._serial.state
         return self._state
+
+    def state_view(self) -> np.ndarray:
+        """Zero-copy, read-only view of the current chain assignment.
+
+        With a live pool under ``sync='serial'`` this reuses the shared
+        export's published state buffer (the boundary phase writes the
+        merged state back into the buffer of the completed sweep), so a
+        reader sees the chains without a pool round-trip or a copy.
+        Consistent at sweep boundaries; the buffers mutate during sweeps.
+        """
+        if self._serial is not None:
+            view = self._serial.state.view()
+        elif self.pool is not None and self.sync == "serial":
+            k = self.sweeps_done - 1
+            # Before the first sweep both buffers hold the initial state.
+            name = "state0" if k < 0 or k % 2 == 1 else "state1"
+            return self.pool.export.readonly_view(name, self.graph.num_vars)
+        else:
+            view = self._state.view()
+        view.flags.writeable = False
+        return view
 
     # ------------------------------------------------------------------ #
     # Supervision / crash recovery

@@ -17,12 +17,20 @@ leave the compiled CSR substrate half-patched.  This package supplies
 
 from repro.reliability.errors import (
     FaultInjected,
+    ProcessCrash,
     ReliabilityError,
     RollbackError,
+    WALCorruptionError,
     WorkerCrashError,
 )
-from repro.reliability.faults import Fault, FaultPlan, inject_faults, maybe_fire
-from repro.reliability.pipeline import ReliableUpdatePipeline
+from repro.reliability.faults import (
+    INJECTION_POINTS,
+    Fault,
+    FaultPlan,
+    inject_faults,
+    maybe_fire,
+)
+from repro.reliability.pipeline import ReliableUpdatePipeline, replay_payload
 from repro.reliability.retry import RetryPolicy
 from repro.reliability.wal import DeltaLog
 
@@ -31,11 +39,15 @@ __all__ = [
     "Fault",
     "FaultInjected",
     "FaultPlan",
+    "INJECTION_POINTS",
+    "ProcessCrash",
     "ReliabilityError",
     "ReliableUpdatePipeline",
     "RetryPolicy",
     "RollbackError",
+    "WALCorruptionError",
     "WorkerCrashError",
     "inject_faults",
     "maybe_fire",
+    "replay_payload",
 ]

@@ -24,7 +24,15 @@ Actions:
     Sleep ``fault.delay`` seconds at the site.
 ``corrupt``
     Scribble seeded random bytes over a shared-memory region named by
-    ``fault.region`` (sites that pass an ``export`` in context).
+    ``fault.region`` (sites that pass an ``export`` in context), or over
+    the middle of a file (sites that pass a ``path`` — e.g. the service's
+    ``service.checkpoint.write``, simulating on-disk corruption).
+``crash``
+    Raise :class:`ProcessCrash` — a ``BaseException`` that no
+    transactional ``except Exception`` handler can intercept, simulating
+    SIGKILL mid-pipeline: rollback, retry and WAL-close paths all skip,
+    leaving only the durable state behind.  The service's crash boundary
+    (and tests) catch it explicitly.
 
 All firing decisions are per-fault visit counters — no wall clock, no
 process-level randomness — so a plan replays identically.
@@ -32,16 +40,20 @@ process-level randomness — so a plan replays identically.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.reliability.errors import FaultInjected
+from repro.reliability.errors import FaultInjected, ProcessCrash
 
 #: Injection points instrumented across the stack.  Kept in one place so
-#: tests can iterate over "every injection point, one at a time".
+#: tests can iterate over "every injection point, one at a time" — and so
+#: :class:`FaultPlan` can reject a typo'd site at construction instead of
+#: letting the fault silently never fire (a chaos test that injects at a
+#: nonexistent site passes vacuously).
 INJECTION_POINTS = (
     "pool.send",
     "pool.recv",
@@ -53,10 +65,16 @@ INJECTION_POINTS = (
     "learn.epoch",
     "ground.update.start",
     "ground.update.finish",
+    "service.queue.put",
+    "service.batch.start",
+    "service.batch.commit",
+    "service.checkpoint.write",
+    "service.read.start",
+    "service.recover.start",
 )
 
 _ACTIONS = frozenset(
-    {"raise", "kill", "kill_after", "drop", "delay", "corrupt"}
+    {"raise", "kill", "kill_after", "drop", "delay", "corrupt", "crash"}
 )
 
 
@@ -103,8 +121,17 @@ class FaultPlan:
     so tests can assert the plan actually triggered.
     """
 
-    def __init__(self, faults, seed: int = 0) -> None:
+    def __init__(self, faults, seed: int = 0, extra_sites=()) -> None:
         self.faults = [f if isinstance(f, Fault) else Fault(**f) for f in faults]
+        known = set(INJECTION_POINTS) | set(extra_sites)
+        unknown = sorted({f.site for f in self.faults} - known)
+        if unknown:
+            # An unknown site would silently never fire and the chaos
+            # test around it would pass without testing anything.
+            raise ValueError(
+                f"unknown injection site(s) {unknown}; known sites: "
+                f"{sorted(known)}"
+            )
         self.rng = np.random.default_rng(seed)
         self.fired: list[tuple[str, str, dict]] = []
 
@@ -128,13 +155,18 @@ class FaultPlan:
             self.fired.append((site, fault.action, dict(ctx)))
             if fault.action == "raise":
                 raise FaultInjected(site, fault.note)
+            if fault.action == "crash":
+                raise ProcessCrash(site, fault.note)
             if fault.action == "delay":
                 time.sleep(fault.delay)
                 return fault
             if fault.action == "corrupt":
                 export = ctx.get("export")
+                path = ctx.get("path")
                 if export is not None:
                     self._corrupt(export, fault.region)
+                elif path is not None:
+                    self._corrupt_file(path)
                 return fault
             return fault
         return None
@@ -146,6 +178,18 @@ class FaultPlan:
         raw = view.view(np.uint8).reshape(-1)
         if raw.size:
             raw[:] = self.rng.integers(0, 256, size=raw.size, dtype=np.uint8)
+
+    def _corrupt_file(self, path) -> None:
+        """Scribble seeded garbage over the middle of a file on disk."""
+        size = os.path.getsize(path)
+        if size == 0:
+            return
+        span = min(64, size)
+        offset = int(self.rng.integers(0, max(size - span, 0) + 1))
+        garbage = self.rng.integers(0, 256, size=span, dtype=np.uint8)
+        with open(path, "r+b") as fh:
+            fh.seek(offset)
+            fh.write(garbage.tobytes())
 
     def fired_sites(self) -> list[str]:
         return [site for site, _, _ in self.fired]

@@ -29,6 +29,27 @@ from repro.reliability.retry import RetryPolicy
 from repro.reliability.wal import DeltaLog
 
 
+def replay_payload(grounder, engine, payload):
+    """Re-apply one logged update payload onto a grounder/engine pair.
+
+    The WAL payload records the *inputs* of an update (relation rows,
+    rule changes, relearn epochs); re-grounding them reproduces the delta
+    and the engine's marginals deterministically.  Shared by
+    :meth:`ReliableUpdatePipeline.replay` (full-history replay onto a
+    fresh stack) and the service's checkpoint recovery (tail replay onto
+    a restored stack)."""
+    kwargs = {
+        k: v
+        for k, v in payload.items()
+        if k not in ("relearn_epochs",) and v is not None
+    }
+    result = grounder.apply_update(**kwargs)
+    outcome = engine.apply_update(result.delta)
+    if payload.get("relearn_epochs"):
+        engine.relearn(payload["relearn_epochs"], record_loss=False)
+    return outcome
+
+
 class ReliableUpdatePipeline:
     """Transactional driver for one grounder + one engine."""
 
@@ -42,6 +63,9 @@ class ReliableUpdatePipeline:
         self.retries = 0
         self.rollbacks = 0
         self.regrounds_skipped = 0
+        #: Transaction id of the most recently committed update — the
+        #: staleness stamp the service attaches to read snapshots.
+        self.last_txn = 0
 
     def apply_update(
         self,
@@ -103,6 +127,7 @@ class ReliableUpdatePipeline:
             raise
         self.wal.commit(txn)
         self.updates += 1
+        self.last_txn = txn
         return outcome
 
     # ------------------------------------------------------------------ #
@@ -116,15 +141,7 @@ class ReliableUpdatePipeline:
         for a persisted :class:`DeltaLog`."""
         outcomes = []
         for _txn, payload in self.wal.committed():
-            kwargs = {
-                k: v
-                for k, v in payload.items()
-                if k not in ("relearn_epochs",) and v is not None
-            }
-            result = grounder.apply_update(**kwargs)
-            outcomes.append(engine.apply_update(result.delta))
-            if payload.get("relearn_epochs"):
-                engine.relearn(payload["relearn_epochs"], record_loss=False)
+            outcomes.append(replay_payload(grounder, engine, payload))
         return outcomes
 
     def pending(self) -> list:

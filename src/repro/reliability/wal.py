@@ -9,17 +9,39 @@ After a crash, :meth:`pending` returns the payloads of transactions that
 began but never committed — exactly the updates that must be retried —
 and :meth:`committed` replays the applied history onto a fresh engine.
 
-On-disk format: consecutive pickle frames, one dict per record, flushed
-after every append.  A torn final frame (crash mid-write) is tolerated
-on read: the record is discarded, which is safe because a payload whose
-``begin`` frame is incomplete was by construction never applied.
+On-disk format: an 8-byte magic header, then length-prefixed frames —
+``u32 payload length | u32 CRC-32 | pickled record``.  The framing
+distinguishes the two ways a log can be damaged:
+
+* a **torn final frame** (crash mid-append) is discarded on read — safe,
+  because a payload whose ``begin`` frame is incomplete was by
+  construction never applied;
+* a **bad non-final frame** (a frame that fails its CRC or is truncated
+  while complete frames follow it) means the log was corrupted in place,
+  and reading raises :class:`WALCorruptionError` instead of silently
+  replaying a wrong prefix.
+
+Logs written by the pre-framing format (a bare pickle stream) are still
+readable; they only support tail tolerance, not mid-log detection.
 """
 
 from __future__ import annotations
 
-import io
 import os
 import pickle
+import struct
+import zlib
+
+from repro.reliability.errors import WALCorruptionError
+
+_MAGIC = b"DLOG0002"
+_HEADER = struct.Struct("<II")  # payload length, CRC-32 of the payload
+
+#: ``fsync`` policies: "always" syncs after every appended record (each
+#: begin/mark is individually durable), "commit" syncs only when a
+#: transaction closes (commit/rollback — batches the per-stage writes
+#: into one sync per transaction), "never" leaves durability to the OS.
+FSYNC_POLICIES = ("always", "commit", "never")
 
 
 class DeltaLog:
@@ -27,43 +49,115 @@ class DeltaLog:
 
     ``path=None`` keeps the log in memory (tests, ephemeral engines);
     with a path the file is opened append-mode and every record is
-    flushed + fsync'd so the WAL survives the writing process.
+    flushed (and fsync'd per ``fsync`` policy) so the WAL survives the
+    writing process.
     """
 
-    def __init__(self, path=None) -> None:
+    def __init__(self, path=None, fsync: str = "always") -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
         self.path = os.fspath(path) if path is not None else None
+        self.fsync = fsync
         self._records: list[dict] = []
         self._fh = None
         if self.path is not None:
-            if os.path.exists(self.path):
+            if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
                 self._records = self._read_frames(self.path)
+            else:
+                with open(self.path, "wb") as fh:
+                    fh.write(_MAGIC)
+                    fh.flush()
+                    os.fsync(fh.fileno())
             self._fh = open(self.path, "ab")
         existing = [r["txn"] for r in self._records]
         self._next_txn = max(existing, default=0) + 1
 
-    @staticmethod
-    def _read_frames(path: str) -> list[dict]:
-        records = []
+    @classmethod
+    def _read_frames(cls, path: str) -> list[dict]:
         with open(path, "rb") as fh:
-            while True:
+            data = fh.read()
+        if not data.startswith(_MAGIC):
+            return cls._read_legacy_frames(data, path)
+        records = []
+        pos = len(_MAGIC)
+        end = len(data)
+        while pos < end:
+            frame_ok = False
+            if pos + _HEADER.size <= end:
+                length, crc = _HEADER.unpack_from(data, pos)
+                payload = data[pos + _HEADER.size : pos + _HEADER.size + length]
+                if len(payload) == length and zlib.crc32(payload) == crc:
+                    records.append(pickle.loads(payload))
+                    pos += _HEADER.size + length
+                    frame_ok = True
+            if not frame_ok:
+                # The frame at ``pos`` is damaged.  If any *complete,
+                # valid* frame follows it the damage is mid-log — refuse
+                # to replay; otherwise it is the torn tail of a crashed
+                # append and everything from here on is discarded.
+                if cls._valid_frame_after(data, pos, end):
+                    raise WALCorruptionError(
+                        f"{path}: torn non-final frame at byte {pos} "
+                        f"(valid frames follow — the log was corrupted in "
+                        f"place, not torn by a crash)"
+                    )
+                break
+        return records
+
+    @staticmethod
+    def _valid_frame_after(data: bytes, pos: int, end: int) -> bool:
+        """True when any complete, CRC-valid frame starts past ``pos``.
+
+        A linear probe over candidate offsets: frames are small (one
+        pickled dict each) and this only runs on the error path."""
+        for start in range(pos + 1, end - _HEADER.size):
+            length, crc = _HEADER.unpack_from(data, start)
+            stop = start + _HEADER.size + length
+            if stop > end:
+                continue
+            payload = data[start + _HEADER.size : stop]
+            if zlib.crc32(payload) == crc:
                 try:
-                    records.append(pickle.load(fh))
-                except EOFError:
-                    break
-                except (pickle.UnpicklingError, ValueError):
-                    # Torn final frame from a crash mid-append; the
-                    # transaction it belonged to never applied.
-                    break
+                    record = pickle.loads(payload)
+                except Exception:
+                    continue
+                if isinstance(record, dict) and "event" in record:
+                    return True
+        return False
+
+    @staticmethod
+    def _read_legacy_frames(data: bytes, path: str) -> list[dict]:
+        """Pre-framing format: consecutive bare pickle frames.
+
+        Tail tolerance only — without length prefixes a torn frame and
+        mid-log corruption are indistinguishable."""
+        import io
+
+        records = []
+        fh = io.BytesIO(data)
+        while True:
+            try:
+                records.append(pickle.load(fh))
+            except EOFError:
+                break
+            except (pickle.UnpicklingError, ValueError):
+                break
         return records
 
     def _append(self, record: dict) -> None:
         self._records.append(record)
         if self._fh is not None:
-            buf = io.BytesIO()
-            pickle.dump(record, buf)
-            self._fh.write(buf.getvalue())
+            payload = pickle.dumps(record)
+            self._fh.write(_HEADER.pack(len(payload), zlib.crc32(payload)))
+            self._fh.write(payload)
             self._fh.flush()
-            os.fsync(self._fh.fileno())
+            if self.fsync == "always" or (
+                self.fsync == "commit"
+                and record["event"] in ("commit", "rollback")
+            ):
+                os.fsync(self._fh.fileno())
 
     # ------------------------------------------------------------------ #
 
@@ -118,12 +212,66 @@ class DeltaLog:
             if rec["event"] == "begin" and status.get(rec["txn"]) == "commit"
         ]
 
+    def truncated_below(self) -> int:
+        """Highest transaction id dropped by :meth:`truncate` (0 if the
+        log still holds its full history).  Committed transactions with
+        ids at or below this floor are *not* in the log — replaying it
+        from scratch yields a partial state unless a checkpoint at or
+        past the floor supplies the missing prefix."""
+        return max(
+            (rec["txn"] for rec in self._records
+             if rec["event"] == "truncated"),
+            default=0,
+        )
+
     def stages(self, txn: int) -> list[str]:
         return [
             rec["stage"]
             for rec in self._records
             if rec["event"] == "mark" and rec["txn"] == txn
         ]
+
+    def truncate(self, upto_txn: int) -> int:
+        """Drop all records of transactions ``<= upto_txn``; returns the
+        number of records removed.
+
+        Used after a durable checkpoint at transaction ``upto_txn``: the
+        checkpoint supersedes the history it captured, so the log stays
+        bounded by the checkpoint interval instead of growing forever.
+        Open (pending) transactions are never truncated — a checkpoint
+        taken while an update is in flight must keep its ``begin`` frame
+        for crash recovery.  A ``truncated`` marker records the floor so
+        a later *cold* replay (no checkpoint) can refuse instead of
+        silently rebuilding from a partial history
+        (:meth:`truncated_below`).  File-backed logs are rewritten
+        atomically (tmp + fsync + rename)."""
+        status = self._status()
+        keep = [
+            rec
+            for rec in self._records
+            if rec["txn"] > upto_txn or status.get(rec["txn"]) == "pending"
+        ]
+        dropped = len(self._records) - len(keep)
+        if dropped == 0:
+            return 0
+        keep.insert(0, {"txn": upto_txn, "event": "truncated"})
+        self._records = keep
+        if self.path is not None:
+            self._fh.close()
+            tmp = self.path + ".tmp"
+            with open(tmp, "wb") as fh:
+                fh.write(_MAGIC)
+                for rec in keep:
+                    payload = pickle.dumps(rec)
+                    fh.write(
+                        _HEADER.pack(len(payload), zlib.crc32(payload))
+                    )
+                    fh.write(payload)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path)
+            self._fh = open(self.path, "ab")
+        return dropped
 
     def close(self) -> None:
         if self._fh is not None:

@@ -1,0 +1,62 @@
+"""Online KB service: bounded-staleness reads over a durable write path.
+
+The ROADMAP's "online service regime": evidence/document deltas stream
+into a bounded admission queue, a background batcher applies them as
+WAL-committed ground → patch → relearn transactions, and reads serve
+zero-copy snapshots of the committed marginals with an explicit
+staleness bound.  Periodic checkpoints + WAL-tail replay make the whole
+thing crash-restartable (:meth:`KBService.restore`).
+
+Modules:
+
+- :mod:`repro.service.queue` — admission control (reject, don't buffer);
+- :mod:`repro.service.batcher` — the single writer thread;
+- :mod:`repro.service.checkpoint` — atomic, checksummed durability;
+- :mod:`repro.service.health` — healthy → degraded → recovering machine;
+- :mod:`repro.service.server` — :class:`KBService` plus the asyncio
+  JSON-lines front end.
+"""
+
+from repro.service.batcher import UpdateBatcher
+from repro.service.checkpoint import CheckpointError, CheckpointStore
+from repro.service.health import (
+    CRASHED,
+    DEGRADED,
+    HEALTHY,
+    RECOVERING,
+    HealthMonitor,
+)
+from repro.service.queue import BoundedUpdateQueue, QueueFull
+from repro.service.server import (
+    BackpressureError,
+    DeadlineExceeded,
+    KBService,
+    ServiceConfig,
+    ServiceError,
+    ServiceServer,
+    ServiceUnavailable,
+    StalenessExceeded,
+    StampedRead,
+)
+
+__all__ = [
+    "BackpressureError",
+    "BoundedUpdateQueue",
+    "CRASHED",
+    "CheckpointError",
+    "CheckpointStore",
+    "DEGRADED",
+    "DeadlineExceeded",
+    "HEALTHY",
+    "HealthMonitor",
+    "KBService",
+    "QueueFull",
+    "RECOVERING",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceServer",
+    "ServiceUnavailable",
+    "StalenessExceeded",
+    "StampedRead",
+    "UpdateBatcher",
+]

@@ -34,10 +34,13 @@ from repro.reliability import (
     Fault,
     FaultInjected,
     FaultPlan,
+    ProcessCrash,
     ReliableUpdatePipeline,
     RetryPolicy,
+    WALCorruptionError,
     WorkerCrashError,
     inject_faults,
+    maybe_fire,
 )
 
 from tests.helpers import chain_ising_graph, random_pairwise_graph
@@ -146,10 +149,99 @@ class TestDeltaLog:
             assert wal2.committed() == [(t1, {"u": 1})]
             assert wal2.pending() == []
 
+    def test_torn_nonfinal_frame_detected(self, tmp_path):
+        # Corruption *before* valid frames is in-place damage, not a
+        # crash tail — replaying a silently truncated prefix would
+        # resurrect pre-corruption state as if later commits never
+        # happened, so reading must refuse.
+        path = tmp_path / "midlog.wal"
+        with DeltaLog(path) as wal:
+            for u in range(3):
+                t = wal.begin({"u": u})
+                wal.commit(t)
+        data = bytearray(path.read_bytes())
+        # Flip a byte inside the first frame's payload (after the 8-byte
+        # magic and the 8-byte length+CRC header).
+        data[20] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(WALCorruptionError, match="non-final"):
+            DeltaLog(path)
+
+    def test_legacy_bare_pickle_log_readable(self, tmp_path):
+        path = tmp_path / "legacy.wal"
+        with open(path, "wb") as fh:
+            for rec in (
+                {"txn": 1, "event": "begin", "payload": {"u": 1}},
+                {"txn": 1, "event": "commit"},
+                {"txn": 2, "event": "begin", "payload": {"u": 2}},
+            ):
+                fh.write(pickle.dumps(rec))
+        with DeltaLog(path) as wal:
+            assert wal.committed() == [(1, {"u": 1})]
+            assert wal.pending() == [(2, {"u": 2})]
+
+    def test_fsync_policy_validated(self):
+        with pytest.raises(ValueError, match="fsync"):
+            DeltaLog(fsync="sometimes")
+
+    def test_fsync_on_commit_durable(self, tmp_path):
+        path = tmp_path / "commit-sync.wal"
+        with DeltaLog(path, fsync="commit") as wal:
+            t1 = wal.begin({"u": 1})
+            wal.mark(t1, "grounded")
+            wal.commit(t1)
+        with DeltaLog(path) as wal2:
+            assert wal2.committed() == [(t1, {"u": 1})]
+            assert wal2.stages(t1) == ["grounded"]
+
+    def test_truncate_keeps_pending_and_later_txns(self, tmp_path):
+        path = tmp_path / "trunc.wal"
+        with DeltaLog(path) as wal:
+            t1 = wal.begin({"u": 1})
+            wal.commit(t1)
+            t2 = wal.begin({"u": 2})  # pending: survives truncation
+            t3 = wal.begin({"u": 3})
+            wal.commit(t3)
+            dropped = wal.truncate(upto_txn=t2)
+            assert dropped == 2  # t1's begin+commit
+            assert wal.truncate(upto_txn=t2) == 0
+        with DeltaLog(path) as wal2:
+            assert wal2.committed() == [(t3, {"u": 3})]
+            assert wal2.pending() == [(t2, {"u": 2})]
+            assert wal2.begin({"u": 4}) == t3 + 1
+
+    def test_truncation_floor_recorded_and_durable(self, tmp_path):
+        path = tmp_path / "floor.wal"
+        with DeltaLog(path) as wal:
+            assert wal.truncated_below() == 0
+            for u in (1, 2, 3):
+                txn = wal.begin({"u": u})
+                wal.commit(txn)
+            wal.truncate(upto_txn=2)
+            assert wal.truncated_below() == 2
+        # The floor marker is a log record: it survives reopen, so a
+        # recovery path can tell "empty prefix" from "truncated prefix".
+        with DeltaLog(path) as wal2:
+            assert wal2.truncated_below() == 2
+            assert [t for t, _ in wal2.committed()] == [3]
+
 
 class TestFaultPlan:
+    def test_unknown_site_rejected_at_construction(self):
+        with pytest.raises(ValueError, match="unknown injection site"):
+            FaultPlan([Fault(site="service.batch.strat")])  # typo'd site
+
+    def test_crash_action_skips_exception_handlers(self):
+        plan = FaultPlan([Fault(site="service.batch.start", action="crash")])
+        with inject_faults(plan):
+            with pytest.raises(ProcessCrash):
+                try:
+                    maybe_fire("service.batch.start")
+                except Exception:  # noqa: BLE001 — must NOT catch the crash
+                    pytest.fail("ProcessCrash was caught by except Exception")
+        assert plan.fired_sites() == ["service.batch.start"]
     def test_fires_on_nth_visit_only(self):
-        plan = FaultPlan([Fault(site="x", at=2)])
+        plan = FaultPlan([Fault(site="x", at=2)], extra_sites=("x",))
         with inject_faults(plan):
             from repro.reliability.faults import maybe_fire
 
