@@ -22,11 +22,17 @@ Axes recorded in ``benchmark_results/BENCH_grounding.json``:
   legacy-incremental vs full reground.
 * ``incremental_axis`` — fixed |Δ|, growing corpus: the incremental
   path's advantage over regrounding should be monotone in graph size.
+* ``arity_axis`` — fixed |Δ|, growing rule body arity (k-way chain
+  joins over one edge relation, so every body position changes on every
+  update): fused k-term delta plans vs the 2^k−1-term subset expansion.
+  Fused cost should track the k terms it drives (~linear) while subset
+  tracks its exponential term count — fused must win at every k ≥ 3.
 
 ``--check`` runs the CI smoke contract instead: columnar and legacy
 grounding must agree canonically on the spouse program, before and
-after incremental updates, and the benchmark workload must ground to
-identical graphs under both engines.
+after incremental updates; the benchmark workload must ground to
+identical graphs under both engines; and the fused delta strategy must
+match the subset oracle on the spouse and arity workloads.
 
 Run: ``PYTHONPATH=src python benchmarks/bench_grounding_incremental.py
 [--scale tiny|small|medium] [--check]``
@@ -45,9 +51,17 @@ from repro.grounding import Grounder, IncrementalGrounder
 from _helpers import emit_json
 
 SCALES = {
-    "tiny": {"sentences": [60, 120], "deltas": [1, 4]},
-    "small": {"sentences": [150, 300, 600], "deltas": [1, 4, 16]},
-    "medium": {"sentences": [400, 800, 1600, 3200], "deltas": [1, 4, 16, 64]},
+    "tiny": {"sentences": [60, 120], "deltas": [1, 4], "arity_edges": 200},
+    "small": {
+        "sentences": [150, 300, 600],
+        "deltas": [1, 4, 16],
+        "arity_edges": 400,
+    },
+    "medium": {
+        "sentences": [400, 800, 1600, 3200],
+        "deltas": [1, 4, 16, 64],
+        "arity_edges": 600,
+    },
 }
 
 #: candidate generation is quadratic in mentions per sentence (§2.5) —
@@ -220,6 +234,109 @@ def time_incremental(rows, pool_size, num_sentences, delta_docs, engine):
     return float(np.min(seconds)), grounder
 
 
+# --------------------------------------------------------------------- #
+# Arity workload: k-way chain joins over a single edge relation — every
+# body position changes on every update, the subset expansion's worst
+# case (2^k−1 terms per rule) and the fused factorization's best
+# showcase (k terms per rule).
+# --------------------------------------------------------------------- #
+
+ARITY_KS = (2, 3, 4, 5)
+ARITY_DELTA_EDGES = 4
+#: average out-degree; path counts grow ~degree^k, so keep it low
+#: enough that k=5 chains stay bounded.
+ARITY_DEGREE = 1.5
+
+
+def build_arity_program(k: int) -> Program:
+    """Hot(x0) :- Edge(x0,x1), …, Edge(x_{k-1},x_k) plus a k-ary
+    derivation twin.  Candidates come from the static node set so every
+    head tuple a signed delta term can transiently emit is a variable."""
+    program = Program(default_semantics="ratio")
+    program.add_relation("Node", ("n",))
+    program.add_relation("Edge", ("a", "b"))
+    program.add_relation("Reach", ("a", "b"))
+    program.add_relation("HotCand", ("n",))
+    program.declare_variable_relation("Hot", ("n",))
+    chain = [
+        Atom("Edge", (Var(f"x{i}"), Var(f"x{i + 1}"))) for i in range(k)
+    ]
+    program.add_derivation_rule(
+        "cand", Atom("HotCand", (Var("n"),)), [Atom("Node", (Var("n"),))]
+    )
+    program.add_derivation_rule(
+        "vars", Atom("Hot", (Var("n"),)), [Atom("HotCand", (Var("n"),))]
+    )
+    program.add_derivation_rule(
+        "reach", Atom("Reach", (Var("x0"), Var(f"x{k}"))), list(chain)
+    )
+    program.add_inference_rule(
+        "walk",
+        Atom("Hot", (Var("x0"),)),
+        list(chain),
+        weight=WeightSpec(value=0.1),
+    )
+    return program
+
+
+def arity_edges(rng, num_edges) -> tuple:
+    num_nodes = max(8, int(num_edges / ARITY_DEGREE))
+    edges = set()
+    while len(edges) < num_edges:
+        a, b = rng.integers(num_nodes, size=2)
+        if a != b:
+            edges.add((f"v{int(a)}", f"v{int(b)}"))
+    return sorted(edges), num_nodes
+
+
+def time_arity_updates(k, edges, num_nodes, delta_strategy, updates=None):
+    """Best per-update seconds for the k-ary chain workload under one
+    delta strategy.  Every update inserts a *connected chain* of fresh
+    edges and retracts an older chain — correlated deltas, the shape
+    document updates produce.  That keeps the subset oracle honest: its
+    Δᵢ ⋈ Δⱼ cross terms actually join (scattered single-edge deltas
+    would leave all 2^k−1−k multi-delta terms empty, an early-exit)."""
+    program = build_arity_program(k)
+    db = program.create_database()
+    db.insert_all("Node", [(f"v{i}",) for i in range(num_nodes)])
+    db.insert_all("Edge", list(edges))
+    grounder = IncrementalGrounder.from_scratch(
+        program, db, delta_strategy=delta_strategy
+    )
+    rng = np.random.default_rng(5)
+    present = set(edges)
+    chains: list = []
+
+    def next_update() -> dict:
+        while True:
+            nodes = rng.choice(num_nodes, size=ARITY_DELTA_EDGES + 1, replace=False)
+            fresh = [
+                (f"v{int(nodes[i])}", f"v{int(nodes[i + 1])}")
+                for i in range(ARITY_DELTA_EDGES)
+            ]
+            if all(edge not in present for edge in fresh):
+                break
+        present.update(fresh)
+        chains.append(fresh)
+        retract = chains.pop(0) if len(chains) > 2 else []
+        for edge in retract:
+            present.discard(edge)
+        update = {"inserts": {"Edge": fresh}}
+        if retract:
+            update["deletes"] = {"Edge": retract}
+        return update
+
+    # Prime: the first update pays plan compilation + index builds.
+    grounder.apply_update(**next_update())
+    seconds = []
+    for _ in range(updates if updates is not None else UPDATES_PER_POINT):
+        update = next_update()
+        start = time.perf_counter()
+        grounder.apply_update(**update)
+        seconds.append(time.perf_counter() - start)
+    return float(np.min(seconds)), grounder
+
+
 def run(scale: str) -> dict:
     cfg = SCALES[scale]
     record = {
@@ -227,6 +344,7 @@ def run(scale: str) -> dict:
         "full_axis": [],
         "delta_axis": [],
         "incremental_axis": [],
+        "arity_axis": [],
     }
     corpora = {}
     for num_sentences in cfg["sentences"]:
@@ -304,6 +422,34 @@ def run(scale: str) -> dict:
             f"-> {entry['advantage']:.0f}x"
         )
 
+    # ---- arity_axis: fixed |Δ|, growing rule body arity.  Fused drives
+    # k plans per k-ary rule; the subset oracle expands 2^k−1 terms
+    # (every body position references Edge, so all of them change).
+    rng = np.random.default_rng(11)
+    edges, num_nodes = arity_edges(rng, cfg["arity_edges"])
+    for k in ARITY_KS:
+        fused_s, grounder = time_arity_updates(k, edges, num_nodes, "fused")
+        subset_s, _ = time_arity_updates(k, edges, num_nodes, "subset")
+        stats = grounder.db.index_stats()["columnar"]
+        entry = {
+            "arity": k,
+            "edges": cfg["arity_edges"],
+            "delta_edges": ARITY_DELTA_EDGES,
+            "fused_seconds": fused_s,
+            "subset_seconds": subset_s,
+            "speedup": subset_s / max(fused_s, 1e-9),
+            "fused_terms_per_rule": k,
+            "subset_terms_per_rule": 2**k - 1,
+            "view_captures": stats["view_captures"],
+            "delta_plan_misses": stats["delta_plan_misses"],
+        }
+        record["arity_axis"].append(entry)
+        print(
+            f"arity_axis k={k} |Δ|={ARITY_DELTA_EDGES} edges  "
+            f"subset={subset_s * 1e3:8.2f}ms fused={fused_s * 1e3:8.2f}ms "
+            f"({2**k - 1:>2} vs {k} terms/rule) -> {entry['speedup']:.1f}x"
+        )
+
     record["headline_speedup_full_ground"] = record["full_axis"][-1]["speedup"]
     return record
 
@@ -351,10 +497,36 @@ def check() -> None:
     _, col_grounder = time_incremental(rows, pool, 40, 2, "columnar")
     _, leg_grounder = time_incremental(rows, pool, 40, 2, "legacy")
     assert_equivalent(col_grounder.graph, leg_grounder.graph)
+
+    # 4. Fused delta plans ≡ the subset oracle — on spouse updates…
+    strategies = {}
+    for strategy in ("fused", "subset"):
+        program = spouse_program()
+        db = spouse_db(program)
+        strategies[strategy] = IncrementalGrounder.from_scratch(
+            program, db, delta_strategy=strategy
+        )
+    for update in updates:
+        for grounder in strategies.values():
+            grounder.apply_update(**update)
+        assert_equivalent(
+            strategies["fused"].graph, strategies["subset"].graph
+        )
+    # …and on the arity workload, where every body position changes and
+    # the two algebras share no terms at all.
+    rng = np.random.default_rng(11)
+    edges, num_nodes = arity_edges(rng, 60)
+    _, fused_g = time_arity_updates(4, edges, num_nodes, "fused", updates=3)
+    _, subset_g = time_arity_updates(4, edges, num_nodes, "subset", updates=3)
+    assert_equivalent(fused_g.graph, subset_g.graph)
+    stats = fused_g.db.index_stats()["columnar"]
+    assert stats["view_captures"] > 0, "fused path captured no old views"
+    assert stats["delta_plan_hits"] > 0, "fused plans were not cache-hit"
     print(
         "grounding smoke ok: columnar ≡ legacy on spouse (full + 3 updates) "
-        f"and on the benchmark workload (full + incremental); "
-        f"{col.graph.num_vars} vars, {col.graph.num_factors} factors"
+        "and on the benchmark workload (full + incremental); fused ≡ subset "
+        f"on spouse + arity workloads; {col.graph.num_vars} vars, "
+        f"{col.graph.num_factors} factors"
     )
 
 

@@ -16,8 +16,15 @@ plans (:mod:`repro.db.plan`) run on:
   packed key bytes to contiguous slot arrays, grown in O(|Δ|) per update.
 * :class:`ColumnarBatch` — a transient signed relation (delta relations,
   intermediate join results) with ephemeral sort-based indexes.
+* :class:`TableView` — an immutable *old-state* snapshot of a
+  :class:`ColumnarTable` taken at an ``apply_delta`` boundary: O(1) to
+  capture (a slot fence + copy-on-write alive overrides, no row copies),
+  so the fused k-term delta plans (:func:`repro.db.plan.compile_delta_plans`)
+  can probe "the relation as of before this update" next to the live
+  new state.
 * :class:`ColumnarStore` — the per-:class:`Database` catalog of mirrors
-  plus the shared interner and the join-plan cache.
+  plus the shared interner, the join-plan and delta-plan caches, and the
+  per-update registry of captured old-state views.
 
 All probe results flow as ``(probe_row, slot)`` index-pair arrays so a
 whole binding batch advances through a join step in a handful of numpy
@@ -33,6 +40,7 @@ __all__ = [
     "ColumnarStore",
     "ColumnarTable",
     "Interner",
+    "TableView",
     "expand_ranges",
     "pack_rows",
 ]
@@ -160,7 +168,10 @@ class _TableIndex:
     back in one vectorized rebuild (amortized O(1) per append).
     """
 
-    __slots__ = ("base_uniq", "base_starts", "base_slots", "extra", "extra_size")
+    __slots__ = (
+        "base_uniq", "base_starts", "base_slots", "extra", "extra_size",
+        "merge_fraction", "probe_merge_threshold",
+    )
 
     #: merge the overflow into the base when it exceeds base/4 slots.
     _MERGE_FRACTION = 4
@@ -168,7 +179,20 @@ class _TableIndex:
     #: beats a per-key overflow scan); delta-sized probes stay under it.
     _PROBE_MERGE_THRESHOLD = 256
 
-    def __init__(self, keys: np.ndarray) -> None:
+    def __init__(
+        self,
+        keys: np.ndarray,
+        merge_fraction: int | None = None,
+        probe_merge_threshold: int | None = None,
+    ) -> None:
+        self.merge_fraction = (
+            self._MERGE_FRACTION if merge_fraction is None else merge_fraction
+        )
+        self.probe_merge_threshold = (
+            self._PROBE_MERGE_THRESHOLD
+            if probe_merge_threshold is None
+            else probe_merge_threshold
+        )
         self.rebuild(keys)
 
     def rebuild(self, keys: np.ndarray) -> None:
@@ -199,9 +223,9 @@ class _TableIndex:
         if not self.extra_size:
             return False
         if probe_size is not None:
-            return probe_size >= self._PROBE_MERGE_THRESHOLD
+            return probe_size >= self.probe_merge_threshold
         return (
-            self.extra_size * self._MERGE_FRACTION
+            self.extra_size * self.merge_fraction
             > len(self.base_slots) + 16
         )
 
@@ -250,10 +274,22 @@ class ColumnarTable:
     _COMPACT_MIN_SLOTS = 256
     _COMPACT_DEAD_FRACTION = 0.5
 
-    def __init__(self, relation, interner: Interner, stats: dict) -> None:
+    def __init__(
+        self,
+        relation,
+        interner: Interner,
+        stats: dict,
+        merge_fraction: int | None = None,
+        probe_merge_threshold: int | None = None,
+    ) -> None:
         self._relation = relation
         self._interner = interner
         self._stats = stats
+        #: overflow-bucket merge tuning, passed to every _TableIndex.
+        #: Old-state views pin a slot fence, not the index structure, so
+        #: long-lived views never block these amortized merges.
+        self._merge_fraction = merge_fraction
+        self._probe_merge_threshold = probe_merge_threshold
         self._log: list = []
         relation.attach_mirror(self._log)
         self.arity = relation.arity
@@ -264,6 +300,7 @@ class ColumnarTable:
         self._slot_of: dict = {}
         self._indexes: dict = {}  # positions tuple -> {key bytes: _Bucket}
         self._alive_slots_cache: np.ndarray | None = None
+        self._views: list = []  # live TableView snapshots (copy-on-write)
         self._load(relation.rows())
 
     # ------------------------------------------------------------------ #
@@ -271,6 +308,14 @@ class ColumnarTable:
     # ------------------------------------------------------------------ #
 
     def _load(self, rows) -> None:
+        # Compaction (and clear-reload) reassigns every slot; live views
+        # fence on slot numbers, so they detach first by materializing
+        # their visible rows (O(view) — rare, and never blocks the merge
+        # or compaction itself).
+        if self._views:
+            for view in self._views:
+                view._materialize()
+            self._views = []
         self._stats["rebuilds"] += 1
         codes = self._interner.encode_rows(rows)
         if codes.size == 0:
@@ -307,9 +352,16 @@ class ColumnarTable:
         if not self._log:
             return
         log, self._log[:] = list(self._log), []
+        # Copy-on-write for old-state views: the first post-capture flip
+        # of a pre-fence slot records its capture-time alive value in
+        # every live view (slots are append-only between compactions, so
+        # codes never need copying).
+        views = [v for v in self._views if v._table is self]
+        self._views = views
         for row, sign in log:
             if row is None:  # clear() sentinel
                 self._load(self._relation.rows())
+                views = []
                 continue
             slot = self._slot_of.get(row)
             if sign > 0:
@@ -318,9 +370,15 @@ class ColumnarTable:
                     self._alive[slot] = True
                     self._n_alive += 1
                 elif not self._alive[slot]:
+                    for view in views:
+                        if slot < view._fence and slot not in view._overrides:
+                            view._overrides[slot] = False
                     self._alive[slot] = True
                     self._n_alive += 1
             elif slot is not None and self._alive[slot]:
+                for view in views:
+                    if slot < view._fence and slot not in view._overrides:
+                        view._overrides[slot] = True
                 self._alive[slot] = False
                 self._n_alive -= 1
         self._alive_slots_cache = None
@@ -360,9 +418,26 @@ class ColumnarTable:
         index = self._indexes.get(positions)
         if index is None:
             self._stats["index_builds"] += 1
-            index = _TableIndex(self._index_keys(positions))
+            index = _TableIndex(
+                self._index_keys(positions),
+                merge_fraction=self._merge_fraction,
+                probe_merge_threshold=self._probe_merge_threshold,
+            )
             self._indexes[positions] = index
         return index
+
+    def _matches(self, positions: tuple, key_rows: np.ndarray):
+        """Raw index matches — no alive filtering (shared by the live
+        table and its old-state views, which filter differently)."""
+        self._stats["probes"] += 1
+        index = self._ensure_index(positions)
+        if index.extra_size and (
+            index.needs_merge(probe_size=len(key_rows))
+            or index.needs_merge()
+        ):
+            self._stats["index_merges"] += 1
+            index.rebuild(self._index_keys(positions))
+        return index.probe(pack_rows(key_rows))
 
     def probe(self, positions: tuple, key_rows: np.ndarray):
         """Match a batch of key rows against the index on ``positions``.
@@ -372,23 +447,168 @@ class ColumnarTable:
         matching (binding row, alive table slot) pairs.  Empty
         ``positions`` is a cross product with every alive row.
         """
-        self._stats["probes"] += 1
         m = len(key_rows)
         if not positions:
+            self._stats["probes"] += 1
             alive = self.alive_slots()
             probe_idx = np.repeat(np.arange(m, dtype=np.int64), len(alive))
             return probe_idx, np.tile(alive, m)
-        index = self._ensure_index(positions)
-        if index.extra_size and (
-            index.needs_merge(probe_size=m) or index.needs_merge()
-        ):
-            self._stats["index_merges"] += 1
-            index.rebuild(self._index_keys(positions))
-        probe_idx, slots = index.probe(pack_rows(key_rows))
+        probe_idx, slots = self._matches(positions, key_rows)
         if self._n_alive == self._n_slots:  # no tombstones: skip filter
             return probe_idx, slots
         keep = self._alive[slots]
         return probe_idx[keep], slots[keep]
+
+    # ------------------------------------------------------------------ #
+    # Old-state views
+    # ------------------------------------------------------------------ #
+
+    def capture_view(self) -> "TableView":
+        """O(1) snapshot of the current visible rows (see
+        :class:`TableView`).  Syncs first so the fence reflects the
+        relation's present state exactly."""
+        self.sync()
+        view = TableView(self, self._n_slots)
+        self._views.append(view)
+        return view
+
+    def _old_alive_of(self, view: "TableView", slots: np.ndarray) -> np.ndarray:
+        """Capture-time alive values for ``slots`` (all < the fence)."""
+        alive = self._alive[slots]
+        overrides = view._overrides
+        if overrides:
+            o_slots, o_vals = view._override_arrays()
+            pos = np.searchsorted(o_slots, slots)
+            pos_c = np.minimum(pos, len(o_slots) - 1)
+            hit = (pos < len(o_slots)) & (o_slots[pos_c] == slots)
+            alive = np.where(hit, o_vals[pos_c], alive)
+        return alive
+
+    def _probe_view(self, view: "TableView", positions: tuple, key_rows):
+        m = len(key_rows)
+        fence = view._fence
+        if not positions:
+            self._stats["probes"] += 1
+            alive = self._alive[:fence].copy()
+            for slot, value in view._overrides.items():
+                alive[slot] = value
+            old_slots = np.flatnonzero(alive)
+            probe_idx = np.repeat(np.arange(m, dtype=np.int64), len(old_slots))
+            return probe_idx, np.tile(old_slots, m)
+        probe_idx, slots = self._matches(positions, key_rows)
+        keep = slots < fence
+        if not keep.all():
+            probe_idx, slots = probe_idx[keep], slots[keep]
+        keep = self._old_alive_of(view, slots)
+        return probe_idx[keep], slots[keep]
+
+
+class TableView:
+    """An immutable snapshot of a table's visible rows at capture time.
+
+    Capture is O(1): a *slot fence* (``_n_slots`` at capture — slots are
+    append-only between compactions, so anything past the fence is new)
+    plus a copy-on-write ``{slot: capture-time alive}`` override map the
+    table fills in as post-capture transitions flip alive bits.  Probes
+    go through the live table's indexes (including overflow-bucket
+    merges, which reorder nothing) and filter by fence + old alive —
+    no row copies, and concurrent ``apply_delta`` on the relation never
+    perturbs the view.
+
+    A compaction (or ``clear``) reassigns slots, so it first
+    *materializes* every live view — copies its visible code rows into a
+    standalone :class:`ColumnarBatch` with ephemeral sort indexes.  Views
+    therefore pin nothing: merges and compactions proceed regardless of
+    how long a view is held.
+
+    Implements the plan-step table protocol (``probe`` / ``codes_at`` /
+    ``signs_of``), so a join step can consume it interchangeably with a
+    live :class:`ColumnarTable`.
+    """
+
+    __slots__ = (
+        "_table", "_fence", "_overrides", "_override_cache", "_materialized",
+    )
+
+    def __init__(self, table: ColumnarTable, fence: int) -> None:
+        self._table = table
+        self._fence = fence
+        self._overrides: dict = {}  # slot -> alive value at capture time
+        self._override_cache: tuple | None = None
+        self._materialized: ColumnarBatch | None = None
+
+    @property
+    def num_rows(self) -> int:
+        materialized = self._resolve()
+        if materialized is not None:
+            return materialized.num_rows
+        alive = int(np.count_nonzero(self._table._alive[: self._fence]))
+        for slot, value in self._overrides.items():
+            alive += (1 if value else -1) * (
+                value != bool(self._table._alive[slot])
+            )
+        return alive
+
+    def release(self) -> None:
+        """Detach from the table: stop copy-on-write recording.  The
+        view must not be probed afterwards."""
+        self._table = None
+        self._materialized = None
+        self._overrides = {}
+
+    def _override_arrays(self) -> tuple:
+        cached = self._override_cache
+        if cached is None or cached[0] != len(self._overrides):
+            o_slots = np.fromiter(
+                self._overrides.keys(), dtype=np.int64, count=len(self._overrides)
+            )
+            o_vals = np.fromiter(
+                self._overrides.values(), dtype=bool, count=len(self._overrides)
+            )
+            order = np.argsort(o_slots)
+            cached = (len(self._overrides), o_slots[order], o_vals[order])
+            self._override_cache = cached
+        return cached[1], cached[2]
+
+    def _materialize(self) -> None:
+        """Copy the view's visible rows out of the table (called by the
+        table right before a compaction reassigns slots)."""
+        if self._materialized is not None or self._table is None:
+            return
+        table = self._table
+        fence = self._fence
+        alive = table._alive[:fence].copy()
+        for slot, value in self._overrides.items():
+            alive[slot] = value
+        slots = np.flatnonzero(alive)
+        self._materialized = ColumnarBatch(
+            table._codes[:fence][slots], np.ones(len(slots), dtype=np.int64)
+        )
+        self._table = None
+        self._overrides = {}
+
+    def _resolve(self):
+        """Sync the backing table (recording any pending copy-on-write
+        overrides — and possibly materializing this view if that sync
+        compacts) and return the materialized batch or ``None``."""
+        if self._materialized is None and self._table is not None:
+            self._table.sync()
+        return self._materialized
+
+    def probe(self, positions: tuple, key_rows: np.ndarray):
+        materialized = self._resolve()
+        if materialized is not None:
+            return materialized.probe(positions, key_rows)
+        return self._table._probe_view(self, positions, key_rows)
+
+    def codes_at(self, slots: np.ndarray, position: int) -> np.ndarray:
+        if self._materialized is not None:
+            return self._materialized.codes_at(slots, position)
+        return self._table._codes[slots, position]
+
+    def signs_of(self, slots: np.ndarray) -> np.ndarray:
+        """Like relations, a view contributes each visible tuple once."""
+        return np.ones(len(slots), dtype=np.int64)
 
 
 class ColumnarBatch:
@@ -456,17 +676,35 @@ class ColumnarStore:
         self._plans: dict = {}         # (id(atoms), sources) -> JoinPlan
         self._struct_plans: dict = {}  # (atoms tuple, sources) -> JoinPlan
         self._plan_pins: dict = {}     # id(atoms) -> atoms (keeps ids stable)
+        self._delta_plans: dict = {}         # id(atoms) -> tuple[JoinPlan]
+        self._struct_delta_plans: dict = {}  # atoms tuple -> tuple[JoinPlan]
+        self._delta_plan_pins: dict = {}     # id(atoms) -> atoms
+        self._old_views: dict = {}  # relation name -> TableView (per update)
+        #: overflow-bucket merge tuning applied to newly created mirrors
+        #: (None = the _TableIndex class defaults).
+        self.merge_fraction: int | None = None
+        self.probe_merge_threshold: int | None = None
         self.stats = {
             "index_builds": 0,
             "index_merges": 0,
             "probes": 0,
             "rebuilds": 0,
+            "view_captures": 0,
+            "delta_plan_hits": 0,
+            "delta_plan_misses": 0,
+            "delta_batch_builds": 0,
         }
 
     def table(self, relation) -> ColumnarTable:
         mirror = self._tables.get(relation.name)
         if mirror is None or mirror._relation is not relation:
-            mirror = ColumnarTable(relation, self.interner, self.stats)
+            mirror = ColumnarTable(
+                relation,
+                self.interner,
+                self.stats,
+                merge_fraction=self.merge_fraction,
+                probe_merge_threshold=self.probe_merge_threshold,
+            )
             self._tables[relation.name] = mirror
         else:
             mirror.sync()
@@ -477,9 +715,43 @@ class ColumnarStore:
 
     def delta_batch(self, transitions: dict) -> ColumnarBatch:
         """A signed batch from a ``{row: ±count}`` transition map."""
+        self.stats["delta_batch_builds"] += 1
         return ColumnarBatch.from_signed_rows(
             self.interner, transitions.items()
         )
+
+    # ------------------------------------------------------------------ #
+    # Old-state views (one capture epoch per incremental update)
+    # ------------------------------------------------------------------ #
+
+    def begin_update(self) -> None:
+        """Open a capture epoch (defensively releasing any stale one)."""
+        if self._old_views:
+            self.release_views()
+
+    def capture_old(self, relation) -> TableView:
+        """Snapshot ``relation``'s pre-update state — call *before* its
+        ``apply_delta``.  Idempotent per epoch: the first capture (taken
+        while the relation is still untouched) wins."""
+        name = relation.name
+        view = self._old_views.get(name)
+        if view is None:
+            view = self.table(relation).capture_view()
+            self._old_views[name] = view
+            self.stats["view_captures"] += 1
+        return view
+
+    def old_view(self, name: str) -> "TableView | None":
+        """The captured old-state view for ``name``, or ``None`` (an
+        unchanged relation's live table *is* its old state)."""
+        return self._old_views.get(name)
+
+    def release_views(self) -> None:
+        """Close the capture epoch: detach every view from its table so
+        later syncs stop paying copy-on-write recording."""
+        for view in self._old_views.values():
+            view.release()
+        self._old_views = {}
 
     def plan(self, atoms, source_positions=frozenset()):
         """Cached compiled join plan for (atoms, delta positions).
@@ -511,3 +783,35 @@ class ColumnarStore:
             self._plans[key] = plan
             self._plan_pins[id(atoms)] = atoms
         return plan
+
+    def delta_plans(self, atoms) -> tuple:
+        """Cached fused k-term delta plans for a rule body (one plan per
+        body position — see :func:`repro.db.plan.compile_delta_plans`).
+
+        Same two-level (identity, structural) caching as :meth:`plan`;
+        the ``delta_plan_hits`` / ``delta_plan_misses`` counters make
+        compile-per-update regressions visible in tests.
+        """
+        key = id(atoms)
+        plans = self._delta_plans.get(key)
+        if plans is not None:
+            self.stats["delta_plan_hits"] += 1
+            return plans
+        struct_key = tuple(atoms)
+        plans = self._struct_delta_plans.get(struct_key)
+        if plans is None:
+            from repro.db.plan import compile_delta_plans
+
+            self.stats["delta_plan_misses"] += 1
+            plans = compile_delta_plans(atoms)
+            if len(self._struct_delta_plans) >= self._PLAN_ID_CACHE_LIMIT:
+                self._struct_delta_plans.clear()
+            self._struct_delta_plans[struct_key] = plans
+        else:
+            self.stats["delta_plan_hits"] += 1
+        if len(self._delta_plans) >= self._PLAN_ID_CACHE_LIMIT:
+            self._delta_plans.clear()
+            self._delta_plan_pins.clear()
+        self._delta_plans[key] = plans
+        self._delta_plan_pins[id(atoms)] = atoms
+        return plans

@@ -70,6 +70,10 @@ class Database:
                 "index_merges": 0,
                 "probes": 0,
                 "rebuilds": 0,
+                "view_captures": 0,
+                "delta_plan_hits": 0,
+                "delta_plan_misses": 0,
+                "delta_batch_builds": 0,
             }
         )
         return {"legacy": legacy, "columnar": columnar}

@@ -15,6 +15,18 @@ table side, and signs multiply (the delta-join algebra's signed counts).
 Semantics are identical to :func:`repro.db.query.evaluate_query` up to
 binding order; the randomized suite in ``tests/test_columnar.py`` checks
 the signed binding multisets agree on random programs and deltas.
+
+For incremental grounding, :func:`compile_delta_plans` emits the *fused*
+k-term old/new factorization of a body's delta (the DBSP/DRed form)::
+
+    Δ(A₁ ⋈ … ⋈ A_k) = Σ_i  A₁ⁿᵉʷ ⋈ … ⋈ A_{i−1}ⁿᵉʷ ⋈ Δ_i ⋈ A_{i+1}ᵒˡᵈ ⋈ … ⋈ A_kᵒˡᵈ
+
+one plan per body position ``i``: step ``i`` consumes the signed per-
+predicate delta batch, steps ``j<i`` probe new state (the live mirrors),
+and steps ``j>i`` probe *old-state* views (:class:`repro.db.columnar.
+TableView`) captured at the update's ``apply_delta`` boundaries.  That
+is **linear** in body arity where the subset expansion ``Σ_S ±(⋈Δ/⋈new)``
+is exponential (2^k−1 terms when every position changed).
 """
 
 from __future__ import annotations
@@ -26,7 +38,12 @@ import numpy as np
 from repro.db.columnar import ColumnarBatch, ColumnarStore
 from repro.db.query import Var, static_join_order
 
-__all__ = ["BindingBatch", "JoinPlan", "columnar_binding_counts"]
+__all__ = [
+    "BindingBatch",
+    "JoinPlan",
+    "columnar_binding_counts",
+    "compile_delta_plans",
+]
 
 
 @dataclass
@@ -61,6 +78,9 @@ class _Step:
     bound_names: tuple         # variable names, parallel to the rest
     new_vars: tuple            # (name, position) introduced by this atom
     eq_filters: tuple          # (first position, duplicate position) pairs
+    #: fused delta plans: probe the relation's captured old-state view
+    #: (when one exists this update) instead of the live mirror.
+    probe_old: bool = False
 
 
 class JoinPlan:
@@ -73,9 +93,16 @@ class JoinPlan:
         self.out_vars = tuple(out_vars)
 
     @classmethod
-    def compile(cls, atoms, source_positions=frozenset()) -> "JoinPlan":
+    def compile(
+        cls, atoms, source_positions=frozenset(), old_positions=frozenset()
+    ) -> "JoinPlan":
+        """Compile ``atoms`` into a plan.  ``old_positions`` marks atoms
+        that must probe old-state views (the ``j>i`` segment of a fused
+        delta term); the execution order still interleaves freely — the
+        state choice is per-atom, not per-segment."""
         atoms = tuple(atoms)
         source_positions = frozenset(source_positions)
+        old_positions = frozenset(old_positions)
         order = static_join_order(atoms, source_positions)
         bound: set = set()
         steps = []
@@ -110,6 +137,7 @@ class JoinPlan:
                     bound_names=tuple(bound_names),
                     new_vars=tuple(new_vars),
                     eq_filters=tuple(eq_filters),
+                    probe_old=idx in old_positions,
                 )
             )
         return cls(atoms, order, steps, out_vars)
@@ -136,7 +164,13 @@ class JoinPlan:
             if step.is_source:
                 table = sources[step.atom_index]
             else:
+                # Sync the live mirror first — that is what records any
+                # pending copy-on-write overrides into captured views.
                 table = store.table(db.relation(atom.pred))
+                if step.probe_old:
+                    view = store.old_view(atom.pred)
+                    if view is not None:
+                        table = view
             m = len(signs)
             key_width = len(step.key_positions)
             key_rows = np.empty((m, key_width), dtype=np.int32)
@@ -164,6 +198,27 @@ class JoinPlan:
             if not len(signs):
                 return self._empty()
         return BindingBatch(cols=cols, signs=signs)
+
+
+def compile_delta_plans(atoms) -> tuple:
+    """The k fused delta plans of a body — one per position (module
+    docstring identity).  Plan ``i`` consumes the signed delta batch at
+    position ``i``; positions ``j<i`` probe new state and ``j>i`` probe
+    old-state views.  Positions whose predicate did not change this
+    update execute identically under either state (old = new), so the
+    driver simply skips plans whose Δᵢ is empty — the surviving terms
+    telescope to exactly ``⋈new − ⋈old``.
+    """
+    atoms = tuple(atoms)
+    k = len(atoms)
+    return tuple(
+        JoinPlan.compile(
+            atoms,
+            source_positions=frozenset((i,)),
+            old_positions=frozenset(range(i + 1, k)),
+        )
+        for i in range(k)
+    )
 
 
 def grouped_counts(batch: BindingBatch, names) -> tuple:

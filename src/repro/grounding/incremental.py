@@ -6,14 +6,30 @@ appearing/disappearing) through the stratified derivation rules and then
 re-joins only the changed part of each inference rule's body to produce
 the modified variables ∆V and factors ∆F.
 
-The join algebra: relations are updated to their new state first, and a
-rule's binding delta is computed from the identity ``old = new − Δ``::
+Two join algebras compute a rule's binding delta:
 
-    Δ(A₁ ⋈ … ⋈ A_k) = Σ_{∅≠S⊆{1..k}} (−1)^{|S|+1} ⋈_{i∈S} Δ_i ⋈_{i∉S} A_i^new
+* ``delta_strategy="fused"`` (default, columnar engine) — the
+  DBSP/DRed-style k-term old/new factorization::
 
-with tuple signs multiplying through the join.  Because the paper's
-programs are non-recursive, this specialisation of DRed is exact — no
-over-deletion/rederivation pass is needed.
+      Δ(A₁ ⋈ … ⋈ A_k) = Σ_i A^new_{<i} ⋈ Δ_i ⋈ A^old_{>i}
+
+  driven by k compiled plans per rule (cached like the full-ground
+  ``JoinPlan``s) whose ``>i`` steps probe *old-state table views*
+  captured at the update's ``apply_delta`` boundaries — **linear** in
+  body arity.
+* ``delta_strategy="subset"`` — the counting algorithm's inclusion/
+  exclusion expansion over the new state (``old = new − Δ``)::
+
+      Δ(A₁ ⋈ … ⋈ A_k) = Σ_{∅≠S⊆{1..k}} (−1)^{|S|+1} ⋈_{i∈S} Δ_i ⋈_{i∉S} A_i^new
+
+  — 2^c−1 terms for c changed positions; kept as the randomized-
+  equivalence slow oracle (and the only strategy of the ``legacy``
+  tuple-at-a-time engine).
+
+Tuple signs multiply through the join either way, and the two
+summations telescope/expand to the same net signed multiset.  Because
+the paper's programs are non-recursive, this specialisation of DRed is
+exact — no over-deletion/rederivation pass is needed.
 
 Program changes are handled in the same framework: an added rule's delta
 is its full evaluation over the new state; a removed inference rule's
@@ -113,6 +129,35 @@ def _signed_delta_batches(db: Database, body, transitions: dict, batches: dict):
             yield execute_body_columnar(db, body, sources=sources), parity
 
 
+def _fused_delta_batches(db: Database, body, transitions: dict, batches: dict):
+    """Fused k-term counterpart of :func:`_signed_delta_batches`.
+
+    Yields one ``(BindingBatch, +1)`` per *changed* body position ``i``,
+    driving the cached fused plan whose step ``i`` consumes that
+    position's signed delta batch (``new_{<i} ⋈ Δ_i ⋈ old_{>i}``) —
+    linear in body arity where the subset expansion is exponential.
+    Positions whose predicate did not change contribute no term (their
+    Δ is empty and old = new), so the surviving terms telescope to the
+    exact net delta.  ``batches`` memoizes one signed batch per
+    predicate across all k plans of *all* rules in the update.
+    """
+    changed_positions = [
+        i
+        for i, atom in enumerate(body)
+        if transitions.get(atom.pred)
+    ]
+    if not changed_positions:
+        return
+    store = db.columnar
+    plans = store.delta_plans(tuple(body))
+    for i in changed_positions:
+        pred = body[i].pred
+        batch = batches.get(pred)
+        if batch is None:
+            batch = batches[pred] = store.delta_batch(transitions[pred])
+        yield plans[i].execute(store, db, sources={i: batch}), 1
+
+
 class IncrementalGrounder:
     """Owns the current grounding and evolves it under updates.
 
@@ -128,10 +173,18 @@ class IncrementalGrounder:
         db: Database,
         grounding: GroundingResult,
         engine: str = "columnar",
+        delta_strategy: str = "fused",
     ):
         if engine not in ("columnar", "legacy"):
             raise ValueError(f"unknown grounding engine {engine!r}")
+        if delta_strategy not in ("fused", "subset"):
+            raise ValueError(f"unknown delta strategy {delta_strategy!r}")
         self.engine = engine
+        #: ``"fused"`` drives the k-term old/new plans (columnar engine
+        #: only); ``"subset"`` forces the 2^k−1 inclusion/exclusion
+        #: oracle.  The legacy engine is tuple-at-a-time subset
+        #: expansion regardless of this setting.
+        self.delta_strategy = delta_strategy
         self.program = program
         self.db = db
         self.graph = grounding.graph
@@ -171,10 +224,20 @@ class IncrementalGrounder:
 
     @classmethod
     def from_scratch(
-        cls, program: Program, db: Database, engine: str = "columnar"
+        cls,
+        program: Program,
+        db: Database,
+        engine: str = "columnar",
+        delta_strategy: str = "fused",
     ) -> "IncrementalGrounder":
         grounding = Grounder(program, db, engine=engine).ground()
-        return cls(program, db, grounding, engine=engine)
+        return cls(
+            program,
+            db,
+            grounding,
+            engine=engine,
+            delta_strategy=delta_strategy,
+        )
 
     def bind_compiled(self, compiled, compact_threshold: float = 0.25) -> None:
         """Keep a :class:`CompiledFactorGraph` in sync with this grounder.
@@ -221,6 +284,42 @@ class IncrementalGrounder:
         # Fires before any relation is mutated: a failure here leaves the
         # grounder (db, records, graph) exactly as it was.
         maybe_fire("ground.update.start")
+        fused = self.engine == "columnar" and self.delta_strategy == "fused"
+        old_store = self.db.columnar if fused else None
+        if old_store is not None:
+            old_store.begin_update()
+        try:
+            return self._apply_update(
+                inserts,
+                deletes,
+                add_derivation_rules,
+                add_inference_rules,
+                remove_inference_rules,
+                old_store,
+            )
+        finally:
+            # Old-state views live exactly one update; releasing them
+            # unpins their fences (and keeps the store picklable for
+            # service checkpoints between updates).
+            if old_store is not None:
+                old_store.release_views()
+
+    def _apply_update(
+        self,
+        inserts,
+        deletes,
+        add_derivation_rules,
+        add_inference_rules,
+        remove_inference_rules,
+        old_store,
+    ) -> UpdateResult:
+        # Predicates some fused plan may probe in their old state; views
+        # are captured lazily right before each such relation's
+        # apply_delta below.  Computed from the rules registered *before*
+        # this update: added rules evaluate fully over new state.
+        body_preds = (
+            self._body_predicates() if old_store is not None else frozenset()
+        )
 
         # ---- 1. Base-relation visibility transitions (computed, then applied).
         transitions: dict = {}
@@ -250,6 +349,8 @@ class IncrementalGrounder:
                     visible[row] = 1
                 elif old > 0 and new == 0:
                     visible[row] = -1
+            if old_store is not None and visible and name in body_preds:
+                old_store.capture_old(relation)
             relation.apply_delta(counts)
             if visible:
                 base_transitions[name] = visible
@@ -286,6 +387,10 @@ class IncrementalGrounder:
                                 1,
                             )
                         ]
+                    elif old_store is not None:
+                        contributions = _fused_delta_batches(
+                            self.db, rule.body, all_transitions, delta_batches
+                        )
                     else:
                         contributions = _signed_delta_batches(
                             self.db, rule.body, all_transitions, delta_batches
@@ -315,6 +420,18 @@ class IncrementalGrounder:
             if not head_delta:
                 continue
             relation = self.db.relation(head_name)
+            if old_store is not None and head_name in body_preds:
+                # Capture only when some tuple actually transitions
+                # visibility — pure count changes leave the visible old
+                # state identical to the live table.
+                count_of = relation.count
+                if any(
+                    (count_of(row) == 0)
+                    if change > 0
+                    else (count_of(row) + change == 0)
+                    for row, change in head_delta.items()
+                ):
+                    old_store.capture_old(relation)
             appeared, disappeared = relation.apply_delta(head_delta)
             visible = {row: 1 for row in appeared}
             visible.update({row: -1 for row in disappeared})
@@ -398,6 +515,10 @@ class IncrementalGrounder:
                     contributions = [
                         (execute_body_columnar(self.db, rule.body), 1)
                     ]
+                elif old_store is not None:
+                    contributions = _fused_delta_batches(
+                        self.db, rule.body, all_transitions, delta_batches
+                    )
                 else:
                     contributions = _signed_delta_batches(
                         self.db, rule.body, all_transitions, delta_batches
@@ -513,6 +634,16 @@ class IncrementalGrounder:
     # ------------------------------------------------------------------ #
     # Helpers
     # ------------------------------------------------------------------ #
+
+    def _body_predicates(self) -> frozenset:
+        """Predicates appearing in any registered rule body — the set of
+        relations whose pre-update state a fused delta plan may probe."""
+        preds: set = set()
+        for rule in self.program.stratified_derivation_rules():
+            preds.update(atom.pred for atom in rule.body)
+        for rule in self.program.inference_rules:
+            preds.update(atom.pred for atom in rule.body)
+        return frozenset(preds)
 
     def _derived_relation_order(self) -> list:
         """Derived relations in dependency order (deduped, stable)."""

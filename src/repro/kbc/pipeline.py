@@ -58,6 +58,7 @@ class KBCPipeline:
         i1_style: str = "symmetry",
         seed: int = 0,
         engine: str = "columnar",
+        delta_strategy: str = "fused",
     ) -> None:
         self.corpus = corpus
         self.semantics = semantics
@@ -67,6 +68,9 @@ class KBCPipeline:
         #: grounding join engine: "columnar" (vectorized plans) or
         #: "legacy" (tuple-at-a-time slow path).
         self.engine = engine
+        #: incremental delta algebra: "fused" k-term plans or the
+        #: "subset" inclusion/exclusion oracle (see IncrementalGrounder).
+        self.delta_strategy = delta_strategy
         self.rng = as_generator(seed)
         known = sup.sample_known_pairs(
             corpus.gold_pairs, supervision_fraction, seed=seed
@@ -134,7 +138,7 @@ class KBCPipeline:
         for name, rows in self.corpus_rows().items():
             db.insert_all(name, rows)
         self.grounder = IncrementalGrounder.from_scratch(
-            program, db, engine=self.engine
+            program, db, engine=self.engine, delta_strategy=self.delta_strategy
         )
         return self.grounder
 

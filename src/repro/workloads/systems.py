@@ -150,6 +150,7 @@ def build_pipeline(
     semantics="ratio",
     seed: int = 0,
     engine: str = "columnar",
+    delta_strategy: str = "fused",
 ) -> KBCPipeline:
     """Generate the corpus and wire up the pipeline for ``spec``."""
     corpus = generate_corpus(spec.corpus_config(scale=scale, seed=seed))
@@ -159,4 +160,5 @@ def build_pipeline(
         i1_style=spec.i1_style,
         seed=seed,
         engine=engine,
+        delta_strategy=delta_strategy,
     )
