@@ -14,6 +14,12 @@ what that buys on the Rerun engine's ``apply_update`` wall-clock:
 * ``graph_axis`` — fixed delta size, growing graph size: the patched
   path should stay near-flat (sublinear in graph size) while the
   recompile baseline grows with the graph.
+* ``graph_layer`` — the graph layer alone, no engine or sampler: raw
+  ``CompiledFactorGraph.apply_delta`` (compiled-direct, the default
+  path after the FactorGraph middle layer was retired) vs the legacy
+  ``delta.apply`` materialized copy, at fixed |Δ| across graph sizes.
+  The patched series should be flat in graph size; the materialized
+  baseline is linear (it copies every factor per update).
 
 Inference work is pinned to a few sweeps on both paths so the
 measurement isolates update *setup* cost (compile + plan + chain
@@ -133,9 +139,48 @@ def measure_updates(num_vars: int, delta_size: int, path: str, updates: int = 4)
     }
 
 
+def measure_graph_layer(num_vars: int, delta_size: int, updates: int = 6) -> dict:
+    """Raw graph-layer update cost, no engine/sampler in the loop.
+
+    The same delta sequence is applied two ways: patched into one
+    long-lived compiled substrate (O(|Δ|)) and through the legacy
+    ``delta.apply`` materialized-copy path (O(#factors)).  Validation is
+    off on the legacy side so the baseline times only the copy+splice.
+    """
+    from repro.graph.compiled import CompiledFactorGraph
+
+    source = build_graph(num_vars)
+    legacy = source.copy()  # detach before the substrate takes ownership
+    compiled = CompiledFactorGraph(source)
+    rng = np.random.default_rng(11)
+    patched_s, materialized_s = [], []
+    for step in range(updates):
+        delta = make_delta(legacy, delta_size, rng, step)
+        start = time.perf_counter()
+        compiled.apply_delta(delta, compact_threshold=1.0)
+        patched_s.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        legacy = delta.apply(legacy, validate=False)
+        materialized_s.append(time.perf_counter() - start)
+    return {
+        "num_vars": num_vars,
+        "delta_size": delta_size,
+        "patched_median_seconds": float(np.median(patched_s)),
+        "materialized_median_seconds": float(np.median(materialized_s)),
+        # Oracle views built during patching — 0 proves the compiled
+        # path never materializes the retired FactorGraph layer.
+        "views_materialized": compiled.views_materialized,
+    }
+
+
 def run(scale: str) -> dict:
     cfg = SCALES[scale]
-    record = {"scale": scale, "delta_axis": [], "graph_axis": []}
+    record = {
+        "scale": scale,
+        "delta_axis": [],
+        "graph_axis": [],
+        "graph_layer": [],
+    }
     for delta_size in cfg["delta_sizes"]:
         for path in ("patched", "recompile"):
             row = measure_updates(cfg["fixed_graph"], delta_size, path)
@@ -153,11 +198,24 @@ def run(scale: str) -> dict:
                 f"graph_axis n={num_vars:>6} |Δ|={fixed_delta} "
                 f"{path:>9}: {row['median_seconds'] * 1e3:8.1f} ms/update"
             )
+    for num_vars in cfg["graph_sizes"]:
+        row = measure_graph_layer(num_vars, fixed_delta)
+        record["graph_layer"].append(row)
+        print(
+            f"graph_layer n={num_vars:>6} |Δ|={fixed_delta} "
+            f"patched: {row['patched_median_seconds'] * 1e6:8.1f} µs  "
+            f"materialized: {row['materialized_median_seconds'] * 1e6:8.1f} µs"
+        )
     # Headline: at the largest fixed graph, patched vs recompile latency.
     patched = [r for r in record["delta_axis"] if r["path"] == "patched"]
     recompile = [r for r in record["delta_axis"] if r["path"] == "recompile"]
     record["speedup_at_smallest_delta"] = (
         recompile[0]["median_seconds"] / max(patched[0]["median_seconds"], 1e-9)
+    )
+    gl = record["graph_layer"]
+    record["graph_layer_speedup_at_largest"] = (
+        gl[-1]["materialized_median_seconds"]
+        / max(gl[-1]["patched_median_seconds"], 1e-9)
     )
     return record
 
@@ -189,6 +247,16 @@ def check() -> None:
         result = grounder.apply_update(**update)
         assert result.patch is not None, "bound compiled did not produce a patch"
     assert compiled.num_vars == grounder.graph.num_vars
+    # Graph-layer contract: the bound update path grounds straight into
+    # the compiled substrate — zero oracle FactorGraph views are built.
+    from repro.graph.factor_graph import CompiledGraphView
+
+    assert isinstance(grounder.graph, CompiledGraphView), (
+        "bound grounder did not hand out the substrate's lazy view"
+    )
+    assert compiled.views_materialized == 0, (
+        f"update path materialized {compiled.views_materialized} oracle views"
+    )
     patched = GibbsSampler(
         grounder.graph, seed=0, compiled=compiled
     ).estimate_marginals(3000, burn_in=50)

@@ -340,20 +340,32 @@ class IncrementalEngine:
             self.cumulative_delta = compose_deltas(
                 self.base_graph, self.cumulative_delta, delta
             )
-        self.current_graph = delta.apply(self.current_graph)
 
-        # Keep the learning substrate in step: the compiled view of the
-        # current graph absorbs the delta (O(|Δ|) patch) and, when a
-        # persistent learner exists, its chains warm-start across it.
-        if self._learn_compiled is not None:
-            learn_patch = self._learn_compiled.apply_delta(
-                delta, self.current_graph, compact_threshold=cfg.compact_threshold
-            )
-            if self._learner is not None:
-                if cfg.warm_learning:
-                    self._learner.apply_patch(learn_patch)
-                else:
-                    self._learner_stale = True
+        # The compiled substrate is the source of truth for the current
+        # graph: the first structural update compiles once (detaching
+        # from the frozen Pr⁰ snapshot), every later update is an O(|Δ|)
+        # patch, and ``current_graph`` is the substrate's lazy view — no
+        # ``delta.apply`` materialization on this path.  When a
+        # persistent learner exists its chains warm-start across the
+        # same patch.
+        if self._learn_compiled is None:
+            from repro.graph.compiled import CompiledFactorGraph
+
+            if self.current_graph is self.base_graph:
+                # The substrate owns graph state (weights, evidence,
+                # names) from compile time on; detach so Pr⁰ stays
+                # frozen.
+                self.current_graph = self.base_graph.copy()
+            self._learn_compiled = CompiledFactorGraph(self.current_graph)
+        learn_patch = self._learn_compiled.apply_delta(
+            delta, compact_threshold=cfg.compact_threshold
+        )
+        self.current_graph = self._learn_compiled.graph
+        if self._learner is not None:
+            if cfg.warm_learning:
+                self._learner.apply_patch(learn_patch)
+            else:
+                self._learner_stale = True
 
         # Patch the tuple bundle in place for small variable appends so
         # the sampling strategy proposes full-width worlds without
@@ -615,17 +627,38 @@ class RerunEngine:
                 seconds=time.perf_counter() - started,
                 details={"short_circuit": "empty delta"},
             )
-        incremental = cfg.reuse_compilation and self._compiled is not None
-        self.current_graph = delta.apply(
-            self.current_graph, validate=not incremental
-        )
-        if incremental:
+        if not cfg.reuse_compilation:
+            # Recompile lesion / rerun baseline: materialize the updated
+            # graph and rebuild everything from scratch.  This is the
+            # only engine path that still pays the O(#factors)
+            # ``delta.apply`` copy.
+            self.current_graph = delta.apply(self.current_graph)
+            self._fresh_sampler()
+            burn = cfg.burn_in
+            if self._learner is not None:
+                # The compilation was thrown away: the learner cannot be
+                # patched onto it and is rebuilt at the next relearn.
+                self._learner_stale = True
+        else:
+            incremental = self._compiled is not None
+            if not incremental:
+                from repro.graph.compiled import CompiledFactorGraph
+
+                # First update: compile the pre-delta graph once.  The
+                # substrate owns graph state from here on; this update
+                # and every later one apply as O(|Δ|) patches and
+                # ``current_graph`` is the substrate's lazy view.
+                self._compiled = CompiledFactorGraph(self.current_graph)
             patch = self._compiled.apply_delta(
-                delta, self.current_graph, compact_threshold=cfg.compact_threshold
+                delta, compact_threshold=cfg.compact_threshold
             )
-            if self._sampler is None:
-                # Compilation primed by an early relearn(): patch it and
-                # start the persistent sampler on the patched substrate.
+            self.current_graph = self._compiled.graph
+            if self._sampler is None or not incremental:
+                # First update, or compilation primed by an early
+                # relearn(): start the persistent sampler on the patched
+                # substrate.
+                if self._sampler is not None and hasattr(self._sampler, "close"):
+                    self._sampler.close()
                 self._sampler = make_sampler(
                     self.current_graph,
                     seed=self.rng,
@@ -647,12 +680,19 @@ class RerunEngine:
                     n_workers=cfg.n_workers,
                     incremental=True,
                 )
-            burn = (
-                cfg.incremental_burn_in
-                if cfg.incremental_burn_in is not None
-                else cfg.burn_in
-            )
-            self.updates_patched += 1
+            if incremental:
+                burn = (
+                    cfg.incremental_burn_in
+                    if cfg.incremental_burn_in is not None
+                    else cfg.burn_in
+                )
+                self.updates_patched += 1
+            else:
+                # Counter/burn-in parity with the historical first-update
+                # recompile: the one-time substrate compile is accounted
+                # as a recompiled update and burns in from scratch.
+                burn = cfg.burn_in
+                self.updates_recompiled += 1
             # Sampler setup may have compacted the substrate underneath
             # the patch (sharded samplers need a clean CSR snapshot);
             # later patch consumers must then rebuild, not splice.
@@ -671,13 +711,6 @@ class RerunEngine:
                         self._resync_sampler()
                 else:
                     self._learner_stale = True
-        else:
-            self._fresh_sampler()
-            burn = cfg.burn_in
-            if self._learner is not None:
-                # The compilation was thrown away: the learner cannot be
-                # patched onto it and is rebuilt at the next relearn.
-                self._learner_stale = True
         maybe_fire("engine.update.patched")
         marginals = self._sampler.estimate_marginals(
             cfg.inference_samples, burn_in=burn

@@ -66,6 +66,9 @@ class StrawmanMaterialization:
                 "strawman cannot relax evidence (stored worlds exclude it)"
             )
         evaluator = DeltaEvaluator(self.graph, delta)
+        # Materialized oracle path: the strawman is an exponential-space
+        # baseline, deliberately outside the compiled-substrate fast path,
+        # so the validated ``delta.apply`` copy is acceptable here.
         updated = delta.apply(self.graph)
         world = updated.initial_assignment(self.rng)
         # Start from a stored-support world for the base variables.

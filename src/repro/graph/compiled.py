@@ -83,7 +83,13 @@ from dataclasses import dataclass, field as _dc_field
 
 import numpy as np
 
-from repro.graph.factor_graph import BiasFactor, FactorGraph, IsingFactor, RuleFactor
+from repro.graph.factor_graph import (
+    BiasFactor,
+    CompiledGraphView,
+    FactorGraph,
+    IsingFactor,
+    RuleFactor,
+)
 from repro.graph.semantics import (
     SEM_LOGICAL,
     SEM_RATIO,
@@ -487,6 +493,19 @@ class CompiledFactorGraph:
         # (they never estimate gradients).
         self.weight_factor_counts = self._compute_weight_counts()
 
+        # ---- substrate-as-truth state ------------------------------------
+        # Once deltas are applied directly (``apply_delta`` with no
+        # materialized graph) this object is the single source of graph
+        # truth: ``structure_version`` stamps structural patches,
+        # ``materialized_factors()`` lazily rebuilds the oracle factor
+        # list against that stamp, and ``views_materialized`` counts
+        # rebuilds — the default update path must never trigger one.
+        # ``compact()`` preserves the version/counter across its re-init.
+        self.structure_version = 0
+        self.views_materialized = 0
+        self._view_factors = None
+        self._view_factors_version = -1
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -498,6 +517,84 @@ class CompiledFactorGraph:
     def has_patches(self) -> bool:
         """True when any apply_delta landed since the last compaction."""
         return self._patched
+
+    @property
+    def num_factors(self) -> int:
+        """Live factor count — O(1) via the handle table on controllers."""
+        if self._fkind is not None:
+            return int(self._fkind.shape[0])
+        return int(
+            np.count_nonzero(self.bias_alive)
+            + np.count_nonzero(self.ising_alive) // 2
+            + self.num_live_rules
+            + self.num_live_slow
+        )
+
+    @property
+    def weights(self):
+        """The weight store of truth (always the facade graph's store)."""
+        return self.graph.weights
+
+    @property
+    def names(self) -> list:
+        """The shared variable-name list (owned by the substrate)."""
+        return self.graph._names
+
+    @property
+    def evidence_dict(self) -> dict:
+        """The shared mutable evidence dict (owned by the substrate)."""
+        return self.graph._evidence
+
+    def materialized_factors(self) -> list:
+        """The current factor list, lazily rebuilt from the handle table.
+
+        The oracle-view escape hatch behind
+        :meth:`FactorGraph.from_compiled` and
+        :class:`~repro.graph.factor_graph.CompiledGraphView.factors`:
+        O(#factors) when (re)built, then cached until the next structural
+        patch bumps ``structure_version``.  Slow paths (legacy evaluator,
+        strawman, exact inference, variational splice) pay for it; the
+        default update path must not.
+        """
+        if self._fkind is None:
+            raise RuntimeError(
+                "attached (worker-side) compiled views carry no factor "
+                "handle table; materialize on the controller"
+            )
+        if (
+            self._view_factors is None
+            or self._view_factors_version != self.structure_version
+        ):
+            fkind = self._fkind
+            fh1 = self._fh1
+            bias_var, bias_wid = self.bias_var, self.bias_wid
+            ising_row = self.ising_row
+            ising_other = self.ising_other
+            ising_wid = self.ising_wid
+            ri_factor, slow_list = self._ri_factor, self.slow_list
+            factors = []
+            append = factors.append
+            for fi in range(fkind.shape[0]):
+                kind = fkind[fi]
+                h1 = fh1[fi]
+                if kind == 2:
+                    append(ri_factor[h1])
+                elif kind == 1:
+                    append(
+                        IsingFactor(
+                            int(ising_wid[h1]),
+                            int(ising_row[h1]),
+                            int(ising_other[h1]),
+                        )
+                    )
+                elif kind == 0:
+                    append(BiasFactor(int(bias_wid[h1]), int(bias_var[h1])))
+                else:
+                    append(slow_list[h1])
+            self._view_factors = factors
+            self._view_factors_version = self.structure_version
+            self.views_materialized += 1
+        return self._view_factors
 
     def degree(self, var: int) -> int:
         """Number of factor incidences of ``var`` (proxy for Gibbs cost)."""
@@ -785,6 +882,7 @@ class CompiledFactorGraph:
         is what worker processes replay on their attached views."""
         ops = {
             "num_new_vars": int(delta.num_new_vars),
+            "var_names": list(delta.new_var_names),
             "evidence": {},
             "bias_del": [],
             "ising_del": [],
@@ -848,33 +946,38 @@ class CompiledFactorGraph:
             ops["evidence"][int(var)] = None if val is None else bool(val)
         return ops
 
-    def apply_delta(
-        self, delta, updated_graph: FactorGraph, compact_threshold: float = 0.25
-    ) -> CompiledPatch:
-        """Patch the compiled view in place from a factor-graph delta.
+    def apply_delta(self, delta, compact_threshold: float = 0.25) -> CompiledPatch:
+        """Patch the compiled substrate in place from a factor-graph delta.
 
-        ``updated_graph`` must be ``delta.apply(self.graph)`` — the engine
-        already materializes it, so it is taken rather than recomputed.
-        Returns the :class:`CompiledPatch` that cache/plan/export holders
-        splice from.  When the tombstone/patched density crosses
+        The substrate is the source of truth: new weights are interned
+        into the shared store, patch ops derive from the handle table,
+        and ``self.graph`` becomes (or stays) a lazy
+        :class:`~repro.graph.factor_graph.CompiledGraphView` — no
+        materialized ``delta.apply`` graph is ever built.  Returns the
+        :class:`CompiledPatch` that cache/plan/export holders splice
+        from.  When the tombstone/patched density crosses
         ``compact_threshold`` the instance is recompiled in place
         (amortized O(|graph|)) and the patch is marked ``compacted``."""
+        for key, initial, fixed in delta.new_weight_entries:
+            self.weights.intern(key, initial=initial, fixed=fixed)
+        for wid, value in delta.changed_weight_values.items():
+            self.weights.set_value(wid, value)
         ops = self._ops_from_delta(delta)
-        patch = self.apply_patch_ops(ops, updated_graph=updated_graph)
+        patch = self.apply_patch_ops(ops)
         if compact_threshold is not None and self.patch_fraction() > compact_threshold:
             self.compact()
             patch.compacted = True
         return patch
 
-    def apply_patch_ops(self, ops: dict, updated_graph=None) -> CompiledPatch:
+    def apply_patch_ops(self, ops: dict) -> CompiledPatch:
         """Replay a patch-op dict against this compiled view.
 
         The op application is deterministic, so a controller (building
         the ops from a delta) and its shared-memory workers (receiving
         them over a pipe) assign identical new rule/grounding/incidence
-        ids.  ``updated_graph`` swaps in the post-delta graph on the
-        controller; workers pass ``None`` and their stub graph is patched
-        instead."""
+        ids.  The controller maintains its own graph facade (names +
+        shared evidence dict behind a lazy view); workers patch their
+        stub graph instead."""
         patch = CompiledPatch(
             ops=ops,
             old_num_vars=self.num_vars,
@@ -1095,14 +1198,41 @@ class CompiledFactorGraph:
                 patch.evidence_sets.append((var, bool(val)))
         self.free_vars = np.flatnonzero(~self.evidence_mask)
 
-        if updated_graph is not None:
-            self.graph = updated_graph
-        else:
+        if self._cap_views is not None:
             # Worker-side stub graph: patch evidence + size in place.
             self.graph.apply_patch(k, ops["evidence"])
+        else:
+            # Substrate-as-truth: extend the shared name list, write
+            # evidence through the shared dict, and keep ``self.graph``
+            # a lazy view over this substrate.  The source graph handed
+            # to ``__init__`` shares names/evidence/weights with the
+            # substrate from compile time on — compiling transfers
+            # ownership of that state.
+            graph = self.graph
+            if not (
+                isinstance(graph, CompiledGraphView) and graph.compiled is self
+            ):
+                graph = CompiledGraphView(self)
+            if k:
+                new_names = list(ops.get("var_names") or [])
+                new_names += [None] * (k - len(new_names))
+                graph._names.extend(new_names[:k])
+            for var, val in sorted(ops["evidence"].items()):
+                if val is None:
+                    graph.clear_evidence(int(var))
+                else:
+                    graph.set_evidence(int(var), bool(val))
+            if graph is not self.graph:
+                old = self.graph
+                self.graph = graph
+                # The old facade shares the evidence dict; drop its
+                # (now stale) cached evidence arrays.
+                if hasattr(old, "_evidence_arrays"):
+                    old._evidence_arrays = None
 
         if patch.structural:
             self._patched = True
+            self.structure_version += 1
         patch.dirty_vars = np.fromiter(sorted(dirty), dtype=np.int64, count=len(dirty))
 
         # ---- repair the cached scan plan ---------------------------------
@@ -1144,7 +1274,19 @@ class CompiledFactorGraph:
                 "shared-memory attached views cannot compact; the "
                 "controller re-exports instead"
             )
-        self.__init__(self.graph)
+        graph = self.graph
+        version = self.structure_version
+        materialized = self.views_materialized
+        if isinstance(graph, CompiledGraphView) and graph.compiled is self:
+            # Re-init compiles from ``graph.factors``, and a view's
+            # factor list derives from this instance's arrays — build it
+            # while they are intact.  (Captured counters are restored
+            # below: a compaction-internal rebuild is amortized O(|graph|)
+            # by design and does not count as an oracle materialization.)
+            self.materialized_factors()
+        self.__init__(graph)
+        self.structure_version = version + 1
+        self.views_materialized = materialized
 
     # ------------------------------------------------------------------ #
     # Transactional snapshot/rollback (repro.reliability)
@@ -1199,6 +1341,10 @@ class CompiledFactorGraph:
         "rule_sem_uniform",
         "_patched",
         "_csr_num_vars",
+        "structure_version",
+        "views_materialized",
+        "_view_factors",
+        "_view_factors_version",
     )
 
     #: Append-only Python lists: captured by (ref, len), rolled back by
@@ -1254,6 +1400,16 @@ class CompiledFactorGraph:
                 key: (plan, plan.snapshot_state())
                 for key, plan in self._plan_cache.items()
             },
+            # Substrate-owned graph state: direct deltas intern weights
+            # and mutate the shared evidence dict / name list in place,
+            # so all three roll back with the arrays.
+            "weights_state": self.weights.snapshot_state(),
+            "evidence": dict(self.graph._evidence)
+            if hasattr(self.graph, "_evidence")
+            else None,
+            "names_len": len(self.graph._names)
+            if hasattr(self.graph, "_names")
+            else None,
             "used": False,
         }
         return snap
@@ -1294,6 +1450,17 @@ class CompiledFactorGraph:
             plan.restore_state(plan_snap)
             cache[key] = plan
         self._plan_cache = cache
+        # Substrate-owned graph state (the graph ref itself was already
+        # restored above): weights, the shared evidence dict (restored in
+        # place so every facade sharing it rolls back too), names.
+        self.weights.restore_state(snap["weights_state"])
+        if snap["evidence"] is not None:
+            evidence = self.graph._evidence
+            evidence.clear()
+            evidence.update(snap["evidence"])
+            self.graph._evidence_arrays = None
+        if snap["names_len"] is not None:
+            del self.graph._names[snap["names_len"] :]
 
 
 class _Block:

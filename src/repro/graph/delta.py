@@ -92,41 +92,59 @@ class FactorGraphDelta:
     def apply(self, base: FactorGraph, validate: bool = True) -> FactorGraph:
         """Materialise the updated graph ``base ⊕ delta`` (base untouched).
 
+        This is the validated *oracle* for the compiled-direct patch path
+        (``CompiledFactorGraph.apply_delta``), which maintains the same
+        state without ever materializing a factor list.
+
         ``validate=False`` skips the O(|graph|) invariant walk — used by
-        the incremental engine path, where the delta comes from the
-        grounder and the compiled patch application re-checks ids anyway.
+        slow-path callers where the delta comes from the grounder and the
+        compiled patch application re-checks ids anyway.
         """
-        updated = base.copy()
+        updated = self.apply_in_place(base.copy())
+        if validate:
+            updated.validate()
+        return updated
+
+    def apply_in_place(self, base: FactorGraph) -> FactorGraph:
+        """Apply this delta directly onto ``base``, mutating it.
+
+        Removals go through a set-difference tail splice: only the factor
+        list from ``min(removed_factor_ids)`` onward is rebuilt, so a few
+        removals near the end of the list stay cheap instead of paying a
+        full O(#factors) list comprehension.
+        """
         for key, initial, fixed in self.new_weight_entries:
-            updated.weights.intern(key, initial=initial, fixed=fixed)
+            base.weights.intern(key, initial=initial, fixed=fixed)
         for wid, value in self.changed_weight_values.items():
-            updated.weights.set_value(wid, value)
+            base.weights.set_value(wid, value)
 
         names = list(self.new_var_names)
         for offset in range(self.num_new_vars):
             name = names[offset] if offset < len(names) else None
-            vid = updated.add_variable(name=name)
+            vid = base.add_variable(name=name)
             if offset in self.new_var_evidence:
-                updated.set_evidence(vid, self.new_var_evidence[offset])
+                base.set_evidence(vid, self.new_var_evidence[offset])
 
         if self.removed_factor_ids:
-            updated.factors = [
+            removed = self.removed_factor_ids
+            lo = min(removed)
+            factors = base.factors
+            tail = [
                 f
-                for fi, f in enumerate(updated.factors)
-                if fi not in self.removed_factor_ids
+                for fi, f in enumerate(factors[lo:], start=lo)
+                if fi not in removed
             ]
+            del factors[lo:]
+            factors.extend(tail)
         for factor in self.new_factors:
-            updated.factors.append(factor)
+            base.factors.append(factor)
 
         for var, value in self.evidence_updates.items():
             if value is None:
-                updated.clear_evidence(var)
+                base.clear_evidence(var)
             else:
-                updated.set_evidence(var, value)
-
-        if validate:
-            updated.validate()
-        return updated
+                base.set_evidence(var, value)
+        return base
 
     def index_mapping(self, num_base_factors: int) -> dict:
         """Old factor index → new index after applying this delta."""
@@ -203,15 +221,22 @@ def compose_deltas(
             composed.changed_weight_values[wid] = value
 
     # --- Factors.  ``second.removed_factor_ids`` index the intermediate
-    # graph: survivors of base first, then first's new factors.
-    mapping = first.index_mapping(base.num_factors)
-    inverse = {new: old for old, new in mapping.items()}
-    survivors = len(mapping)
+    # graph: survivors of base first, then first's new factors.  Survivor
+    # indexes translate back to base indexes in O(|first.removed|) per
+    # lookup; the grow-only common case (``first`` removes nothing) is an
+    # identity map, so neither path builds the O(#factors)
+    # ``index_mapping``/``inverse`` dicts.
+    removed_first = sorted(first.removed_factor_ids)
+    survivors = base.num_factors - len(removed_first)
     composed.removed_factor_ids = set(first.removed_factor_ids)
     dropped_first_new: set = set()
     for removed in second.removed_factor_ids:
         if removed < survivors:
-            composed.removed_factor_ids.add(inverse[removed])
+            composed.removed_factor_ids.add(
+                removed
+                if not removed_first
+                else _survivor_to_base(removed, removed_first)
+            )
         else:
             dropped_first_new.add(removed - survivors)
     composed.new_factors = [
@@ -220,3 +245,19 @@ def compose_deltas(
         if i not in dropped_first_new
     ] + list(second.new_factors)
     return composed
+
+
+def _survivor_to_base(index: int, removed_sorted: list) -> int:
+    """Map a post-removal survivor index back to its base-graph index.
+
+    ``removed_sorted`` is the ascending list of removed base indexes; the
+    survivor at ``index`` sits ``k`` slots later in the base list, where
+    ``k`` counts removed indexes at or below the answer.
+    """
+    base_index = index
+    for removed in removed_sorted:
+        if removed <= base_index:
+            base_index += 1
+        else:
+            break
+    return base_index

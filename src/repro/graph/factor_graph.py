@@ -488,6 +488,23 @@ class FactorGraph:
         clone._evidence.update(self._evidence)
         return clone
 
+    @classmethod
+    def from_compiled(cls, compiled, share_weights: bool = False) -> "FactorGraph":
+        """Materialize a plain mutable graph from a compiled substrate.
+
+        The compiled substrate is the source of truth for graph state;
+        this is the oracle-view escape hatch for slow paths (legacy
+        evaluator, strawman, exact inference, variational splice) that
+        need a real factor list.  O(#factors) — never call it on the
+        default update path.
+        """
+        graph = cls(compiled.weights if share_weights else compiled.weights.copy())
+        graph._num_vars = compiled.num_vars
+        graph._names = list(compiled.names)
+        graph._evidence.update(compiled.evidence_dict)
+        graph.factors = list(compiled.materialized_factors())
+        return graph
+
     def validate(self) -> None:
         """Check internal invariants; raises ``ValueError`` on violation."""
         for factor in self.factors:
@@ -518,4 +535,99 @@ class FactorGraph:
         return (
             f"FactorGraph(vars={self._num_vars}, factors={len(self.factors)}, "
             f"weights={len(self.weights)}, evidence={len(self._evidence)})"
+        )
+
+
+class CompiledGraphView(FactorGraph):
+    """Read-mostly :class:`FactorGraph` facade over a compiled substrate.
+
+    The :class:`~repro.graph.compiled.CompiledFactorGraph` owns the graph
+    state (CSR arrays + the factor-handle table); this view exposes the
+    classic ``FactorGraph`` API on top of it without holding a factor
+    list of its own.  ``factors`` lazily materializes from the handle
+    table (version-stamped cache in the substrate), so slow-path oracles
+    keep working while the default update path never pays O(#factors).
+
+    Structure is immutable through the view — patch the substrate
+    instead.  Evidence mutation is allowed and writes through to the
+    shared evidence dict (the compiled kernels always read *current*
+    evidence at plan time).
+    """
+
+    def __init__(self, compiled, evidence: dict | None = None) -> None:
+        # Deliberately does NOT call FactorGraph.__init__: ``factors``
+        # and ``_num_vars`` are properties delegating to the substrate.
+        self._compiled = compiled
+        self.weights = compiled.weights
+        self._names = compiled.names
+        self._evidence = compiled.evidence_dict if evidence is None else evidence
+        self._evidence_view = MappingProxyType(self._evidence)
+        self._evidence_arrays = None
+
+    @property
+    def compiled(self):
+        """The owning substrate."""
+        return self._compiled
+
+    @property
+    def _num_vars(self) -> int:
+        return self._compiled.num_vars
+
+    @property
+    def num_factors(self) -> int:
+        return self._compiled.num_factors
+
+    @property
+    def factors(self) -> list:
+        return self._compiled.materialized_factors()
+
+    # --- Structural mutation goes through the substrate, not the view.
+
+    def _immutable(self, what: str):
+        raise TypeError(
+            f"cannot {what} through a CompiledGraphView; apply a delta to "
+            "the compiled substrate (CompiledFactorGraph.apply_delta) or "
+            "materialize a mutable copy via FactorGraph.from_compiled()"
+        )
+
+    def add_variable(self, name=None, evidence=None) -> int:
+        self._immutable("add variables")
+
+    def add_variables(self, count: int) -> range:
+        self._immutable("add variables")
+
+    def add_named_variables(self, names) -> range:
+        self._immutable("add variables")
+
+    def add_rule_factor(self, weight_id, head, groundings, semantics) -> int:
+        self._immutable("add factors")
+
+    def add_ising_factor(self, weight_id, i, j) -> int:
+        self._immutable("add factors")
+
+    def add_bias_factor(self, weight_id, var) -> int:
+        self._immutable("add factors")
+
+    def copy(self, share_weights: bool = False) -> "FactorGraph":
+        """Copy semantics for views.
+
+        ``share_weights=True`` returns another *lazy* view over the same
+        substrate with an independent evidence dict (the SGD free-chain
+        twin: shared weights, private evidence, no materialization).
+        ``share_weights=False`` materializes a fully detached mutable
+        :class:`FactorGraph` (oracle semantics).
+        """
+        if share_weights:
+            return CompiledGraphView(self._compiled, evidence=dict(self._evidence))
+        graph = FactorGraph.from_compiled(self._compiled, share_weights=False)
+        graph._evidence.clear()
+        graph._evidence.update(self._evidence)
+        graph._evidence_arrays = None
+        return graph
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledGraphView(vars={self._num_vars}, "
+            f"factors={self.num_factors}, weights={len(self.weights)}, "
+            f"evidence={len(self._evidence)})"
         )

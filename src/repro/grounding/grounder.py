@@ -126,6 +126,18 @@ class GroundingResult:
     def variable(self, relation: str, row) -> int:
         return self.variable_of[(relation, tuple(row))]
 
+    def compile(self):
+        """Lower the grounded graph into its compiled substrate.
+
+        The substrate owns graph state from here on (see
+        ``CompiledFactorGraph.apply_delta``); bind it to an
+        :class:`~repro.grounding.incremental.IncrementalGrounder` so
+        updates patch it in place without materializing a graph copy.
+        """
+        from repro.graph.compiled import CompiledFactorGraph
+
+        return CompiledFactorGraph(self.graph)
+
     def marginal_of(self, marginals, relation: str, row) -> float:
         return float(marginals[self.variable(relation, row)])
 

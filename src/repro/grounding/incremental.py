@@ -64,14 +64,21 @@ from repro.grounding.grounder import (
 
 @dataclass
 class UpdateResult:
-    """What one incremental update produced."""
+    """What one incremental update produced.
+
+    ``graph`` is the grounder's post-update graph *facade*: with a bound
+    compiled substrate it is the substrate's lazy
+    :class:`~repro.graph.factor_graph.CompiledGraphView` (no materialized
+    graph is ever built on the update path); unbound grounders mutate
+    their mutable graph in place and return it.
+    """
 
     delta: FactorGraphDelta
     graph: FactorGraph
     transitions: dict = field(default_factory=dict)
     #: CompiledPatch when a compiled view is bound to the grounder (the
     #: end-to-end incremental path: ΔV/ΔF flow straight into the CSR
-    #: substrate without a recompile).
+    #: substrate without a recompile or a ``delta.apply`` copy).
     patch: object = None
 
     @property
@@ -252,6 +259,21 @@ class IncrementalGrounder:
             raise ValueError("compiled view does not match the grounder's graph")
         self._compiled = compiled
         self._compact_threshold = compact_threshold
+
+    def compile(self, compact_threshold: float = 0.25):
+        """Lower the current graph into a bound compiled substrate.
+
+        One-call convenience for the ground-straight-into-the-substrate
+        flow: compiles ``self.graph`` once (O(graph), the unavoidable
+        initial lowering), binds it, and returns it.  From then on every
+        :meth:`apply_update` patches the substrate in place and
+        ``self.graph`` is its lazy view.
+        """
+        from repro.graph.compiled import CompiledFactorGraph
+
+        compiled = CompiledFactorGraph(self.graph)
+        self.bind_compiled(compiled, compact_threshold=compact_threshold)
+        return compiled
 
     @staticmethod
     def _record_vars(record: FactorRecord):
@@ -615,18 +637,23 @@ class IncrementalGrounder:
         # ---- 8. Apply and re-index.  The O(graph) invariant walk is
         # skipped: the grounder constructs deltas from resolved variable
         # ids and interned weights, and _reindex re-verifies the factor
-        # registry whenever factors were removed.
-        updated = delta.apply(self.graph, validate=False)
-        self._reindex(delta, appended, updated)
+        # registry whenever factors were removed.  With a bound compiled
+        # substrate the delta lands as an O(|Δ|) patch straight in the
+        # CSR arrays — no ``delta.apply`` copy, no materialized factor
+        # list; ``self.graph`` becomes the substrate's lazy view.
+        # Unbound grounders splice their mutable graph in place.
         patch = None
         if self._compiled is not None:
             patch = self._compiled.apply_delta(
-                delta, updated, compact_threshold=self._compact_threshold
+                delta, compact_threshold=self._compact_threshold
             )
+            self.graph = self._compiled.graph
+        else:
+            delta.apply_in_place(self.graph)
+        self._reindex(delta, appended)
         result = UpdateResult(
-            delta=delta, graph=updated, transitions=all_transitions, patch=patch
+            delta=delta, graph=self.graph, transitions=all_transitions, patch=patch
         )
-        self.graph = updated
         self.last_result = result
         maybe_fire("ground.update.finish")
         return result
@@ -689,7 +716,7 @@ class IncrementalGrounder:
                     if current != value:
                         delta.evidence_updates[vid] = value
 
-    def _reindex(self, delta: FactorGraphDelta, appended, updated: FactorGraph) -> None:
+    def _reindex(self, delta: FactorGraphDelta, appended) -> None:
         """Recompute record factor indexes after a delta application.
 
         With no removals, surviving indexes are untouched and only the
@@ -697,7 +724,9 @@ class IncrementalGrounder:
         factor list: the maintained ``_factor_keys`` table is compacted
         in one list pass and indexes are reassigned from the first
         removed position onward.  Verification is scoped to the touched
-        (appended) records — survivors keep positions by construction.
+        (appended) records — survivors keep positions by construction —
+        and resolves through the compiled handle table when a substrate
+        is bound (O(1) per record, no factor-list materialization).
         """
         removed = delta.removed_factor_ids
         records = self.records
@@ -720,13 +749,31 @@ class IncrementalGrounder:
             self._factor_keys.extend(appended)
             for offset, key in enumerate(appended):
                 records[key].factor_index = base + offset
-        if len(self._factor_keys) != updated.num_factors:
+        compiled = self._compiled
+        num_factors = (
+            compiled.num_factors if compiled is not None else self.graph.num_factors
+        )
+        if len(self._factor_keys) != num_factors:
             raise AssertionError("factor registry out of sync")
         for key in appended:
-            record = records[key]
-            factor = updated.factors[record.factor_index]
-            if not isinstance(factor, RuleFactor) or factor.head != record.head_var:
+            if not self._factor_matches(records[key]):
                 raise AssertionError("factor registry out of sync")
+
+    def _factor_matches(self, record: FactorRecord) -> bool:
+        """Head-check one appended record against the factor of truth."""
+        index = record.factor_index
+        compiled = self._compiled
+        if compiled is None:
+            factor = self.graph.factors[index]
+            return isinstance(factor, RuleFactor) and factor.head == record.head_var
+        kind = int(compiled._fkind[index])
+        if kind == 2:
+            ri = int(compiled._fh1[index])
+            return int(compiled.rule_head[ri]) == record.head_var
+        if kind == 3:
+            factor = compiled.slow_list[int(compiled._fh1[index])]
+            return factor.head == record.head_var
+        return False
 
 
 class _DeltaWeightView:

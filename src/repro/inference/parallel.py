@@ -559,6 +559,10 @@ def attach_compiled(spec: dict):
     c._patched = bool(c.var_patched.any())
     c._nbr_patch = {}
     c._csr_num_vars = c.num_vars
+    c.structure_version = 0
+    c.views_materialized = 0
+    c._view_factors = None
+    c._view_factors_version = -1
     _rebuild_python_mirrors(c)
     weights = _StubWeights(
         views["__weights__"], views["__weights_version__"], views["__weights_size__"]
@@ -762,7 +766,7 @@ class _Worker:
         replays the mirror ops, and warm-patches its persistent chains.
         A sharded worker drops its shard state — the controller re-sends
         ``shard_init`` with the repaired shard plan right after."""
-        patch = self.compiled.apply_patch_ops(ops, updated_graph=None)
+        patch = self.compiled.apply_patch_ops(ops)
         self.default_evidence = dict(self.compiled.graph.evidence)
         self.shard = None
         for chain in self.chains.values():

@@ -224,13 +224,19 @@ class IncrementalUpdateSnapshot:
         _consume(self)
         e = self.engine
         e.cumulative_delta = self.cumulative_delta
-        e.current_graph = self.current_graph
         e._last_marginals = self.last_marginals
         self.sampling.restore()
         self.variational.restore()
         if self.compiled_state is not None:
             self.learn_compiled.restore_state(self.compiled_state)
         e._learn_compiled = self.learn_compiled
+        if self.learn_compiled is not None:
+            # Re-derive the lazy view from the rolled-back substrate; the
+            # captured reference may be a graph materialized (or a facade
+            # swapped in) during the failed update.
+            e.current_graph = self.learn_compiled.graph
+        else:
+            e.current_graph = self.current_graph
         restored = self.learner.restore(verify=verify)
         if self.learner.pool_backed and restored is None:
             e._learner = None
@@ -276,13 +282,18 @@ class RerunUpdateSnapshot:
     def restore(self, verify: bool = True) -> None:
         _consume(self)
         e = self.engine
-        e.current_graph = self.current_graph
         e._last_marginals = self.last_marginals
         e.updates_patched = self.updates_patched
         e.updates_recompiled = self.updates_recompiled
         if self.compiled_state is not None:
             self.compiled.restore_state(self.compiled_state)
         e._compiled = self.compiled
+        if self.compiled is not None:
+            # Re-derive the lazy view from the rolled-back substrate rather
+            # than resurrecting a stale materialized graph reference.
+            e.current_graph = self.compiled.graph
+        else:
+            e.current_graph = self.current_graph
         if e._sampler is not self.sampler:
             # A replacement sampler built during the failed update owns
             # pool/shm resources the original does not.
@@ -333,10 +344,16 @@ class RelearnSnapshot:
     def restore(self, verify: bool = True) -> None:
         _consume(self)
         e = self.engine
-        e.current_graph = self.current_graph
         self.weights.restore_state(self.weights_state)
         for name, ref in self.compiled_refs.items():
             setattr(e, name, ref)
+        substrate = next(
+            (ref for ref in self.compiled_refs.values() if ref is not None),
+            None,
+        )
+        e.current_graph = (
+            substrate.graph if substrate is not None else self.current_graph
+        )
         if e._learner is not self.learner:
             # Cold learner constructed during the failed relearn.
             _close_quietly(e._learner)

@@ -118,7 +118,7 @@ class TestPatchVsFresh:
         for step in range(8):
             delta = random_delta(graph, rng, step)
             updated = delta.apply(graph)
-            compiled.apply_delta(delta, updated, compact_threshold=1.0)
+            compiled.apply_delta(delta, compact_threshold=1.0)
             graph = updated
             assert_patched_equals_fresh(compiled, graph)
             assert_plan_valid(compiled, graph)
@@ -136,7 +136,7 @@ class TestPatchVsFresh:
         compiled.plan(fg)
         delta = FactorGraphDelta(removed_factor_ids={e1})
         updated = delta.apply(fg)
-        compiled.apply_delta(delta, updated, compact_threshold=1.0)
+        compiled.apply_delta(delta, compact_threshold=1.0)
         assert b in compiled._var_neighbors(a)
         assert_plan_valid(compiled, updated)
         assert_patched_equals_fresh(compiled, updated)
@@ -157,7 +157,7 @@ class TestPatchVsFresh:
             new_weight_entries=[(("s",), 0.5, False)], new_factors=[slow]
         )
         updated = delta.apply(graph)
-        compiled.apply_delta(delta, updated, compact_threshold=1.0)
+        compiled.apply_delta(delta, compact_threshold=1.0)
         assert compiled.num_live_slow == 1
         assert_patched_equals_fresh(compiled, updated)
         assert_plan_valid(compiled, updated)
@@ -166,7 +166,7 @@ class TestPatchVsFresh:
             removed_factor_ids={updated.num_factors - 1}
         )
         final = removal.apply(updated)
-        compiled.apply_delta(removal, final, compact_threshold=1.0)
+        compiled.apply_delta(removal, compact_threshold=1.0)
         assert compiled.num_live_slow == 0
         assert_patched_equals_fresh(compiled, final)
         assert_plan_valid(compiled, final)
@@ -176,7 +176,7 @@ class TestPatchVsFresh:
         compiled = CompiledFactorGraph(graph)
         delta = FactorGraphDelta(removed_factor_ids={0, 1, 2, 3})
         updated = delta.apply(graph)
-        patch = compiled.apply_delta(delta, updated, compact_threshold=0.1)
+        patch = compiled.apply_delta(delta, compact_threshold=0.1)
         assert patch.compacted
         assert not compiled.has_patches
         assert_patched_equals_fresh(compiled, updated)
@@ -190,7 +190,7 @@ class TestPatchVsFresh:
         for step in range(6):
             delta = random_delta(graph, rng, step)
             updated = delta.apply(graph)
-            patch = compiled.apply_delta(delta, updated, compact_threshold=1.0)
+            patch = compiled.apply_delta(delta, compact_threshold=1.0)
             graph = updated
             sampler.apply_patch(patch)
             sampler.run(3)
@@ -214,7 +214,7 @@ class TestPatchVsFresh:
             )
             delta.removed_factor_ids.add(step)
             updated = delta.apply(graph)
-            patch = compiled.apply_delta(delta, updated, compact_threshold=1.0)
+            patch = compiled.apply_delta(delta, compact_threshold=1.0)
             graph = updated
             sampler.apply_patch(patch)
         patched = sampler.estimate_marginals(4000, burn_in=50)
@@ -233,7 +233,7 @@ class TestShardPlanRepair:
         for step in range(5):
             delta = random_delta(graph, rng, step)
             updated = delta.apply(graph)
-            compiled.apply_delta(delta, updated, compact_threshold=1.0)
+            compiled.apply_delta(delta, compact_threshold=1.0)
             graph = updated
             plan = compiled.plan(graph)
             sp = repair_shard_plan(compiled, plan, sp, 3)
@@ -455,7 +455,7 @@ class TestPoolSurvivesUpdates:
                 threshold = 0.0 if step == 2 else 1.0
                 updated = delta.apply(graph)
                 patch = compiled.apply_delta(
-                    delta, updated, compact_threshold=threshold
+                    delta, compact_threshold=threshold
                 )
                 graph = updated
                 sampler.apply_patch(patch)

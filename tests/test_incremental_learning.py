@@ -101,7 +101,7 @@ class TestCompiledWeightStatistics:
             updated = delta.apply(graph)
             # Alternate between pure patching and threshold compaction.
             threshold = 1.0 if step % 3 else 0.2
-            compiled.apply_delta(delta, updated, compact_threshold=threshold)
+            compiled.apply_delta(delta, compact_threshold=threshold)
             graph = updated
             worlds = rng.random((4, graph.num_vars)) < 0.5
             assert np.allclose(
@@ -142,11 +142,11 @@ class TestPatchedLearnerEquivalence:
         for step in range(4):
             delta = random_delta(graph, rng, step)
             updated = delta.apply(graph)
-            patch = compiled.apply_delta(delta, updated, compact_threshold=1.0)
+            patch = compiled.apply_delta(delta, compact_threshold=1.0)
             learner.apply_patch(patch)
             graph = updated
             learner.fit(2, record_loss=False)  # exercise warm chains
-        assert learner.graph is graph
+        assert learner.graph is compiled.graph
         assert not learner.free_graph.evidence
         assert learner.free_graph.num_vars == graph.num_vars
         fresh = CompiledFactorGraph(graph)
@@ -169,7 +169,7 @@ class TestPatchedLearnerEquivalence:
 
         delta = new_examples_delta(learner.graph, 0)
         updated = delta.apply(learner.graph)
-        patch = learner._compiled.apply_delta(delta, updated)
+        patch = learner._compiled.apply_delta(delta)
         learner.apply_patch(patch)
 
         fresh = SGDLearner(updated.copy(), step_size=0.3, seed=1, l2=0.0)
@@ -192,7 +192,7 @@ class TestPatchedLearnerEquivalence:
             learner.fit(20, record_loss=False)
             delta = new_examples_delta(learner.graph, 0, k=8, pos=6)
             updated = delta.apply(learner.graph)
-            patch = learner._compiled.apply_delta(delta, updated)
+            patch = learner._compiled.apply_delta(delta)
             learner.apply_patch(patch)
             assert learner._pool.pids() == pids
             learner.fit(40, record_loss=False)
@@ -252,7 +252,7 @@ class TestEvidencePseudoNLL:
         learner.fit(5, record_loss=False)
         delta = new_examples_delta(learner.graph, 0)
         updated = delta.apply(learner.graph)
-        patch = learner._compiled.apply_delta(delta, updated)
+        patch = learner._compiled.apply_delta(delta)
         learner.apply_patch(patch)
         assert learner.evidence_pseudo_nll() == pytest.approx(
             learner.evidence_pseudo_nll(fresh_cache=True), abs=1e-9
