@@ -74,6 +74,10 @@ class Database:
                 "delta_plan_hits": 0,
                 "delta_plan_misses": 0,
                 "delta_batch_builds": 0,
+                "partition_builds": 0,
+                "shard_probes": 0,
+                "shard_batches_merged": 0,
+                "degradations": 0,
             }
         )
         return {"legacy": legacy, "columnar": columnar}

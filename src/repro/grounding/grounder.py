@@ -122,6 +122,11 @@ class GroundingResult:
     variable_of: dict          # (relation, tuple) -> variable id
     tuple_of: dict             # variable id -> (relation, tuple)
     factor_records: dict       # (rule, head var, weight id) -> FactorRecord
+    #: grounding execution counters: ``n_workers`` plus, on the columnar
+    #: engine, the shard-level counters (``partition_builds``,
+    #: ``shard_probes``, ``shard_batches_merged``, ``degradations``)
+    #: snapshotted from the columnar store after the ground.
+    stats: dict = field(default_factory=dict)
 
     def variable(self, relation: str, row) -> int:
         return self.variable_of[(relation, tuple(row))]
@@ -162,6 +167,31 @@ def execute_body_columnar(db: Database, body, sources=None):
     store = db.columnar
     plan = store.plan(body, frozenset(sources or ()))
     return plan.execute(store, db, sources=sources)
+
+
+def head_var_names(rule) -> tuple:
+    """The names of the variables appearing in a rule's head atom."""
+    return tuple(
+        arg.name for arg in rule.head.args if isinstance(arg, Var)
+    )
+
+
+def full_body_batch(db: Database, rule, executor=None):
+    """Canonical binding batch of a rule's full body join.
+
+    Routes through the sharded executor when one is active (hash-
+    partitioned parallel execution, shard-order merge), else the serial
+    cached plan; either way the result is canonicalized
+    (:func:`repro.db.plan.canonicalize_batch`), so downstream folding is
+    bit-identical between the two paths.
+    """
+    from repro.db.plan import canonicalize_batch
+
+    if executor is not None and executor.active:
+        batch = executor.execute_full(db, rule.body, head_var_names(rule))
+    else:
+        batch = execute_body_columnar(db, rule.body)
+    return canonicalize_batch(batch)
 
 
 def signed_head_counts(db: Database, rule, batch) -> dict:
@@ -772,17 +802,62 @@ class Grounder:
 
     ``engine`` selects the join engine: ``"columnar"`` (vectorized plans,
     the default) or ``"legacy"`` (tuple-at-a-time slow path / oracle).
+    ``n_workers > 1`` executes every body join as hash-partitioned shard
+    executions on a worker pool (:class:`~repro.grounding.sharded.
+    ShardedGroundingExecutor`) — bit-identical output by construction;
+    ``n_workers=1`` is exactly the serial code path (no executor, no
+    pool).  Callers owning a multi-worker grounder should :meth:`close`
+    it (or hand the executor off) to reap the pool processes.
     """
 
     def __init__(
-        self, program: Program, db: Database, engine: str = "columnar"
+        self,
+        program: Program,
+        db: Database,
+        engine: str = "columnar",
+        n_workers: int = 1,
+        executor=None,
+        ctx=None,
+        command_timeout: float | None = None,
+        retry=None,
     ) -> None:
         if engine not in _ENGINES:
             raise ValueError(f"unknown grounding engine {engine!r}")
         self.program = program
         self.db = db
         self.engine = engine
+        self.n_workers = int(n_workers)
         self._resolver: VariableCodeResolver | None = None
+        self._executor = executor
+        self._owns_executor = False
+        if self._executor is None and self.n_workers > 1:
+            if engine != "columnar":
+                raise ValueError(
+                    "sharded grounding (n_workers > 1) requires the "
+                    "columnar engine"
+                )
+            from repro.grounding.sharded import ShardedGroundingExecutor
+
+            self._executor = ShardedGroundingExecutor(
+                db,
+                self.n_workers,
+                ctx=ctx,
+                command_timeout=command_timeout,
+                retry=retry,
+            )
+            self._owns_executor = True
+
+    @property
+    def executor(self):
+        """The sharded executor (``None`` on the serial path)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down an owned sharded executor's worker pool."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._owns_executor = False
 
     # ------------------------------------------------------------------ #
 
@@ -791,7 +866,7 @@ class Grounder:
         for rule in self.program.stratified_derivation_rules():
             relation = self.db.relation(rule.head.pred)
             if self.engine == "columnar":
-                batch = execute_body_columnar(self.db, rule.body)
+                batch = full_body_batch(self.db, rule, self._executor)
                 relation.bulk_insert_counts(
                     signed_head_counts(self.db, rule, batch)
                 )
@@ -835,7 +910,7 @@ class Grounder:
         """Ground one inference rule; ``sources`` supports delta joins."""
         semantics = self.program.semantics_of(rule)
         if self.engine == "columnar" and sources is None:
-            batch = execute_body_columnar(self.db, rule.body)
+            batch = full_body_batch(self.db, rule, self._executor)
             apply_rule_binding_batch(
                 rule,
                 semantics,
@@ -890,9 +965,20 @@ class Grounder:
                 )
             )
         graph.validate()
+        stats: dict = {"n_workers": self.n_workers}
+        if self.engine == "columnar":
+            store_stats = self.db.columnar.stats
+            for key in (
+                "partition_builds",
+                "shard_probes",
+                "shard_batches_merged",
+                "degradations",
+            ):
+                stats[key] = store_stats.get(key, 0)
         return GroundingResult(
             graph=graph,
             variable_of=variable_of,
             tuple_of=tuple_of,
             factor_records=records,
+            stats=stats,
         )

@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from repro.datalog.ast import EVIDENCE_SUFFIX
 from repro.datalog.program import Program
 from repro.db.database import Database
+from repro.db.plan import canonicalize_batch
 from repro.db.query import evaluate_query
 from repro.graph.delta import FactorGraphDelta
 from repro.graph.factor_graph import FactorGraph, RuleFactor
@@ -58,6 +59,8 @@ from repro.grounding.grounder import (
     apply_rule_binding_batch,
     apply_rule_bindings,
     execute_body_columnar,
+    full_body_batch,
+    head_var_names,
     signed_head_counts,
 )
 
@@ -133,10 +136,19 @@ def _signed_delta_batches(db: Database, body, transitions: dict, batches: dict):
                         transitions[pred]
                     )
                 sources[i] = batch
-            yield execute_body_columnar(db, body, sources=sources), parity
+            yield canonicalize_batch(
+                execute_body_columnar(db, body, sources=sources)
+            ), parity
 
 
-def _fused_delta_batches(db: Database, body, transitions: dict, batches: dict):
+def _fused_delta_batches(
+    db: Database,
+    body,
+    transitions: dict,
+    batches: dict,
+    executor=None,
+    head_vars=(),
+):
     """Fused k-term counterpart of :func:`_signed_delta_batches`.
 
     Yields one ``(BindingBatch, +1)`` per *changed* body position ``i``,
@@ -147,6 +159,11 @@ def _fused_delta_batches(db: Database, body, transitions: dict, batches: dict):
     Δ is empty and old = new), so the surviving terms telescope to the
     exact net delta.  ``batches`` memoizes one signed batch per
     predicate across all k plans of *all* rules in the update.
+
+    With an active ``executor`` each term is executed as ``n_workers``
+    hash-partitioned shard runs on the worker pool (partitioned on
+    ``head_vars``); batches are canonicalized either way, so the sharded
+    and serial paths yield bit-identical terms.
     """
     changed_positions = [
         i
@@ -157,12 +174,17 @@ def _fused_delta_batches(db: Database, body, transitions: dict, batches: dict):
         return
     store = db.columnar
     plans = store.delta_plans(tuple(body))
+    sharded = executor is not None and executor.active
     for i in changed_positions:
         pred = body[i].pred
         batch = batches.get(pred)
         if batch is None:
             batch = batches[pred] = store.delta_batch(transitions[pred])
-        yield plans[i].execute(store, db, sources={i: batch}), 1
+        if sharded:
+            term = executor.execute_delta_term(db, plans[i], i, batch, head_vars)
+        else:
+            term = plans[i].execute(store, db, sources={i: batch})
+        yield canonicalize_batch(term), 1
 
 
 class IncrementalGrounder:
@@ -181,12 +203,37 @@ class IncrementalGrounder:
         grounding: GroundingResult,
         engine: str = "columnar",
         delta_strategy: str = "fused",
+        n_workers: int = 1,
+        executor=None,
+        ctx=None,
+        command_timeout: float | None = None,
+        retry=None,
     ):
         if engine not in ("columnar", "legacy"):
             raise ValueError(f"unknown grounding engine {engine!r}")
         if delta_strategy not in ("fused", "subset"):
             raise ValueError(f"unknown delta strategy {delta_strategy!r}")
         self.engine = engine
+        self.n_workers = int(n_workers)
+        self._executor = executor
+        self._owns_executor = False
+        if self.n_workers > 1 or self._executor is not None:
+            if engine != "columnar" or delta_strategy != "fused":
+                raise ValueError(
+                    "sharded incremental grounding (n_workers > 1) requires "
+                    "the columnar engine with the fused delta strategy"
+                )
+        if self._executor is None and self.n_workers > 1:
+            from repro.grounding.sharded import ShardedGroundingExecutor
+
+            self._executor = ShardedGroundingExecutor(
+                db,
+                self.n_workers,
+                ctx=ctx,
+                command_timeout=command_timeout,
+                retry=retry,
+            )
+            self._owns_executor = True
         #: ``"fused"`` drives the k-term old/new plans (columnar engine
         #: only); ``"subset"`` forces the 2^k−1 inclusion/exclusion
         #: oracle.  The legacy engine is tuple-at-a-time subset
@@ -236,15 +283,54 @@ class IncrementalGrounder:
         db: Database,
         engine: str = "columnar",
         delta_strategy: str = "fused",
+        n_workers: int = 1,
+        ctx=None,
+        command_timeout: float | None = None,
+        retry=None,
     ) -> "IncrementalGrounder":
-        grounding = Grounder(program, db, engine=engine).ground()
-        return cls(
+        if n_workers > 1 and (engine != "columnar" or delta_strategy != "fused"):
+            # Validate before the Grounder spawns a worker pool that the
+            # constructor below would then refuse (and leak).
+            raise ValueError(
+                "sharded incremental grounding (n_workers > 1) requires "
+                "the columnar engine with the fused delta strategy"
+            )
+        grounder = Grounder(
+            program,
+            db,
+            engine=engine,
+            n_workers=n_workers,
+            ctx=ctx,
+            command_timeout=command_timeout,
+            retry=retry,
+        )
+        grounding = grounder.ground()
+        # Hand the grounder's worker pool off to the incremental grounder
+        # so full ground and every update share one executor session.
+        inc = cls(
             program,
             db,
             grounding,
             engine=engine,
             delta_strategy=delta_strategy,
+            n_workers=n_workers,
+            executor=grounder.executor,
         )
+        inc._owns_executor = grounder._owns_executor
+        grounder._owns_executor = False
+        return inc
+
+    @property
+    def executor(self):
+        """The sharded executor (``None`` on the serial path)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Shut down an owned sharded executor's worker pool."""
+        if self._owns_executor and self._executor is not None:
+            self._executor.close()
+            self._executor = None
+            self._owns_executor = False
 
     def bind_compiled(self, compiled, compact_threshold: float = 0.25) -> None:
         """Keep a :class:`CompiledFactorGraph` in sync with this grounder.
@@ -308,8 +394,13 @@ class IncrementalGrounder:
         maybe_fire("ground.update.start")
         fused = self.engine == "columnar" and self.delta_strategy == "fused"
         old_store = self.db.columnar if fused else None
+        executor = self._executor
+        if executor is not None and (old_store is None or not executor.active):
+            executor = None
         if old_store is not None:
             old_store.begin_update()
+        if executor is not None:
+            executor.begin_update()
         try:
             return self._apply_update(
                 inserts,
@@ -318,11 +409,14 @@ class IncrementalGrounder:
                 add_inference_rules,
                 remove_inference_rules,
                 old_store,
+                executor,
             )
         finally:
             # Old-state views live exactly one update; releasing them
             # unpins their fences (and keeps the store picklable for
             # service checkpoints between updates).
+            if executor is not None:
+                executor.end_update()
             if old_store is not None:
                 old_store.release_views()
 
@@ -334,6 +428,7 @@ class IncrementalGrounder:
         add_inference_rules,
         remove_inference_rules,
         old_store,
+        executor=None,
     ) -> UpdateResult:
         # Predicates some fused plan may probe in their old state; views
         # are captured lazily right before each such relation's
@@ -373,6 +468,8 @@ class IncrementalGrounder:
                     visible[row] = -1
             if old_store is not None and visible and name in body_preds:
                 old_store.capture_old(relation)
+                if executor is not None:
+                    executor.capture_old(relation)
             relation.apply_delta(counts)
             if visible:
                 base_transitions[name] = visible
@@ -404,14 +501,16 @@ class IncrementalGrounder:
                 if columnar:
                     if is_new:
                         contributions = [
-                            (
-                                execute_body_columnar(self.db, rule.body),
-                                1,
-                            )
+                            (full_body_batch(self.db, rule, executor), 1)
                         ]
                     elif old_store is not None:
                         contributions = _fused_delta_batches(
-                            self.db, rule.body, all_transitions, delta_batches
+                            self.db,
+                            rule.body,
+                            all_transitions,
+                            delta_batches,
+                            executor=executor,
+                            head_vars=head_var_names(rule),
                         )
                     else:
                         contributions = _signed_delta_batches(
@@ -454,6 +553,8 @@ class IncrementalGrounder:
                     for row, change in head_delta.items()
                 ):
                     old_store.capture_old(relation)
+                    if executor is not None:
+                        executor.capture_old(relation)
             appeared, disappeared = relation.apply_delta(head_delta)
             visible = {row: 1 for row in appeared}
             visible.update({row: -1 for row in disappeared})
@@ -535,11 +636,16 @@ class IncrementalGrounder:
             if columnar:
                 if is_new:
                     contributions = [
-                        (execute_body_columnar(self.db, rule.body), 1)
+                        (full_body_batch(self.db, rule, executor), 1)
                     ]
                 elif old_store is not None:
                     contributions = _fused_delta_batches(
-                        self.db, rule.body, all_transitions, delta_batches
+                        self.db,
+                        rule.body,
+                        all_transitions,
+                        delta_batches,
+                        executor=executor,
+                        head_vars=head_var_names(rule),
                     )
                 else:
                     contributions = _signed_delta_batches(

@@ -1,0 +1,679 @@
+"""Sharded grounding: hash-partitioned plan execution on the worker pool.
+
+Grounding was the last single-process phase of the pipeline (ROADMAP
+item 3): inference, learning, updates, and serving already scale across
+the PR 2 :class:`~repro.inference.parallel.GibbsWorkerPool`.  This
+module scatters both the full-ground joins and the PR 8 fused k-term
+delta plans across that pool:
+
+* Each worker process holds a :class:`GroundingWorkerSession` — columnar
+  *mirrors* of every relation a plan touches (code matrices shipped once,
+  then maintained by signed code deltas), materialized old-state
+  snapshots for the fused ``old_{>i}`` probes, pinned pickled
+  :class:`~repro.db.plan.JoinPlan` objects, and pinned signed delta
+  batches.
+* The controller-side :class:`ShardedGroundingExecutor` dispatches one
+  *partition-restricted* execution per worker: worker ``w`` runs the
+  plan with ``partition=(positions, n_workers, w)``, which keeps exactly
+  the first-step rows whose :func:`~repro.db.columnar.shard_assignments`
+  hash over the rule's **head-variable** positions equals ``w``.  The
+  hash is a pure function of the interned codes, so the shard outputs
+  form an exact disjoint cover of the serial batch for any worker count.
+
+**Determinism contract.**  Shard results are merged in worker-index
+order and every fold site canonicalizes its batch
+(:func:`~repro.db.plan.canonicalize_batch`) before touching factor
+records, so factor ids, weight interning order, and new variable ids
+are a pure function of the data — ``n_workers=4`` is bit-identical to
+``n_workers=1`` (which takes the serial code path exactly).  The
+controller replays the same mirror syncs the serial
+``JoinPlan.resolve_tables`` performs, in the same step order, so the
+constant interner evolves identically in both modes.
+
+**Supervision.**  Every fan-out collects per worker under a
+:class:`~repro.reliability.retry.RetryPolicy`: a crashed worker is
+respawned (:meth:`GibbsWorkerPool.respawn_worker`) and its whole session
+re-shipped from the controller's shadow state, then the in-flight
+command is re-sent — all session commands are idempotent (loads
+overwrite; deltas apply ensure-visible/ensure-invisible semantics).
+When retries exhaust, the executor *degrades to serial* permanently:
+the pool is shut down, ``degradations`` is counted, and the caller
+falls back to the serial plan execution — bit-identical output either
+way, because the controller's interner state never depended on the
+workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.db.columnar import (
+    ColumnarBatch,
+    _TableIndex,
+    pack_row,
+    pack_rows,
+    shard_assignments,
+)
+from repro.db.plan import BindingBatch, head_partition_positions
+from repro.reliability.errors import WorkerCrashError
+from repro.reliability.retry import RetryPolicy
+
+__all__ = ["GroundingWorkerSession", "ShardedGroundingExecutor"]
+
+
+class _DegradedToSerial(Exception):
+    """Internal: the pool is gone; the caller must re-execute serially."""
+
+
+# --------------------------------------------------------------------- #
+# Worker side
+# --------------------------------------------------------------------- #
+
+
+class _MirrorTable:
+    """A worker's columnar mirror of one relation: shipped code rows.
+
+    The plan-step table protocol (``probe`` / ``codes_at`` / ``signs_of``
+    / ``partition_of``) over a growable code matrix with an alive mask —
+    the :class:`~repro.db.columnar.ColumnarTable` pattern minus the
+    interner (codes arrive pre-interned from the controller) and minus
+    compaction (worker mirrors live one grounder session; slots are
+    append-only, so per-shard indexes and partition caches never
+    rebuild).  Deltas apply ensure-visible / ensure-invisible semantics,
+    which makes re-applying a delta after a crash-restore a no-op.
+    """
+
+    def __init__(self, codes: np.ndarray, stats: dict) -> None:
+        codes = np.asarray(codes, dtype=np.int32)
+        if codes.ndim != 2:
+            codes = codes.reshape(0, 0)
+        self.arity = codes.shape[1]
+        self._codes = codes.copy()
+        self._n_slots = len(codes)
+        self._n_alive = self._n_slots
+        self._alive = np.ones(self._n_slots, dtype=bool)
+        self._slot_of = dict(
+            zip(pack_rows(codes).tolist(), range(self._n_slots))
+        )
+        self._indexes: dict = {}
+        self._partitions: dict = {}
+        self._alive_slots_cache: np.ndarray | None = None
+        self._stats = stats
+
+    @property
+    def num_rows(self) -> int:
+        return self._n_alive
+
+    def _append_slot(self, row_codes: np.ndarray, key) -> int:
+        slot = self._n_slots
+        if slot == len(self._codes):
+            cap = max(16, 2 * len(self._codes))
+            grown = np.empty((cap, self.arity), dtype=np.int32)
+            grown[:slot] = self._codes[:slot]
+            self._codes = grown
+            grown_alive = np.zeros(cap, dtype=bool)
+            grown_alive[:slot] = self._alive[:slot]
+            self._alive = grown_alive
+        self._codes[slot] = row_codes
+        self._n_slots += 1
+        self._slot_of[key] = slot
+        for positions, index in self._indexes.items():
+            index.append(pack_row(self._codes[slot, positions]), slot)
+        return slot
+
+    def apply_delta(self, codes: np.ndarray, signs: np.ndarray) -> None:
+        """Apply signed code rows in order (idempotent per final state)."""
+        codes = np.asarray(codes, dtype=np.int32)
+        keys = pack_rows(codes).tolist()
+        for i, (key, sign) in enumerate(zip(keys, signs)):
+            slot = self._slot_of.get(key)
+            if sign > 0:
+                if slot is None:
+                    slot = self._append_slot(codes[i], key)
+                    self._alive[slot] = True
+                    self._n_alive += 1
+                elif not self._alive[slot]:
+                    self._alive[slot] = True
+                    self._n_alive += 1
+            elif slot is not None and self._alive[slot]:
+                self._alive[slot] = False
+                self._n_alive -= 1
+        self._alive_slots_cache = None
+
+    # ---- plan-step table protocol ------------------------------------ #
+
+    def alive_slots(self) -> np.ndarray:
+        cached = self._alive_slots_cache
+        if cached is None:
+            cached = np.flatnonzero(self._alive[: self._n_slots])
+            self._alive_slots_cache = cached
+        return cached
+
+    def visible_codes(self) -> np.ndarray:
+        return self._codes[self.alive_slots()]
+
+    def codes_at(self, slots: np.ndarray, position: int) -> np.ndarray:
+        return self._codes[slots, position]
+
+    def signs_of(self, slots: np.ndarray) -> np.ndarray:
+        return np.ones(len(slots), dtype=np.int64)
+
+    def partition_of(self, positions: tuple, n_shards: int) -> np.ndarray:
+        key = (tuple(positions), int(n_shards))
+        part = self._partitions.get(key)
+        n = self._n_slots
+        if part is None:
+            self._stats["partition_builds"] += 1
+            cols = [self._codes[:n, p] for p in key[0]]
+            part = shard_assignments(cols, n_shards, length=n)
+            self._partitions[key] = part
+        elif len(part) < n:
+            lo = len(part)
+            cols = [self._codes[lo:n, p] for p in key[0]]
+            part = np.concatenate(
+                [part, shard_assignments(cols, n_shards, length=n - lo)]
+            )
+            self._partitions[key] = part
+        return part
+
+    def _index_keys(self, positions: tuple) -> np.ndarray:
+        return pack_rows(self._codes[: self._n_slots][:, positions])
+
+    def _ensure_index(self, positions: tuple) -> _TableIndex:
+        index = self._indexes.get(positions)
+        if index is None:
+            index = _TableIndex(self._index_keys(positions))
+            self._indexes[positions] = index
+        return index
+
+    def probe(self, positions: tuple, key_rows: np.ndarray):
+        self._stats["shard_probes"] += 1
+        m = len(key_rows)
+        if not positions:
+            alive = self.alive_slots()
+            probe_idx = np.repeat(np.arange(m, dtype=np.int64), len(alive))
+            return probe_idx, np.tile(alive, m)
+        index = self._ensure_index(positions)
+        if index.extra_size and (
+            index.needs_merge(probe_size=m) or index.needs_merge()
+        ):
+            index.rebuild(self._index_keys(positions))
+        probe_idx, slots = index.probe(pack_rows(key_rows))
+        if self._n_alive == self._n_slots:
+            return probe_idx, slots
+        keep = self._alive[slots]
+        return probe_idx[keep], slots[keep]
+
+
+class _ConstInterner:
+    """Worker stand-in for the controller interner: a shipped
+    ``{constant: code}`` map probed by the plan's constant steps (codes
+    never allocated worker-side — unknown constants stay ``-1``, which
+    the plan turns into the same empty batch the serial path returns)."""
+
+    def __init__(self) -> None:
+        self.codes: dict = {}
+
+    def probe(self, value) -> int:
+        return self.codes.get(value, -1)
+
+
+class _WorkerDB:
+    """Relation handles are just names worker-side."""
+
+    @staticmethod
+    def relation(name: str) -> str:
+        return name
+
+
+class _WorkerStore:
+    """The ``(store, db)`` surface :meth:`JoinPlan.execute` needs."""
+
+    def __init__(self, session: "GroundingWorkerSession") -> None:
+        self._session = session
+        self.interner = _ConstInterner()
+
+    def table(self, name: str) -> _MirrorTable:
+        return self._session.mirrors[name]
+
+    def old_view(self, name: str):
+        return self._session.old_views.get(name)
+
+
+class GroundingWorkerSession:
+    """One worker process's sharded-grounding state + command dispatch.
+
+    Commands arrive via ``_Worker.ground(op=...)``; every op is
+    idempotent (see module docstring), so the controller's crash-restore
+    can re-ship the session and re-send the in-flight command blindly.
+    """
+
+    def __init__(self) -> None:
+        self.mirrors: dict = {}
+        self.old_views: dict = {}
+        self.plans: dict = {}
+        self.batches: dict = {}
+        self.stats = {"shard_probes": 0, "partition_builds": 0}
+        self.store = _WorkerStore(self)
+        self.db = _WorkerDB()
+
+    def dispatch(self, op: str, **kwargs):
+        return getattr(self, "op_" + op)(**kwargs)
+
+    # ---- mirror maintenance ------------------------------------------ #
+
+    def op_load_table(self, name: str, codes) -> None:
+        self.mirrors[name] = _MirrorTable(codes, self.stats)
+
+    def op_delta(self, name: str, codes, signs) -> None:
+        self.mirrors[name].apply_delta(codes, signs)
+
+    def op_capture_old(self, name: str) -> None:
+        mirror = self.mirrors[name]
+        codes = mirror.visible_codes()
+        self.old_views[name] = ColumnarBatch(
+            codes, np.ones(len(codes), dtype=np.int64)
+        )
+
+    def op_load_old(self, name: str, codes) -> None:
+        codes = np.asarray(codes, dtype=np.int32)
+        self.old_views[name] = ColumnarBatch(
+            codes, np.ones(len(codes), dtype=np.int64)
+        )
+
+    def op_release_update(self) -> None:
+        self.old_views = {}
+        self.batches = {}
+
+    # ---- plan / batch pins ------------------------------------------- #
+
+    def op_add_plan(self, plan_id: int, plan) -> None:
+        self.plans[plan_id] = plan
+
+    def op_add_batch(self, batch_id: int, codes, signs) -> None:
+        self.batches[batch_id] = ColumnarBatch(
+            np.asarray(codes, dtype=np.int32),
+            np.asarray(signs, dtype=np.int64),
+        )
+
+    # ---- shard execution --------------------------------------------- #
+
+    def op_execute(
+        self, plan_id: int, sources, consts, positions, n_shards, shard
+    ):
+        plan = self.plans[plan_id]
+        resolved = None
+        if sources:
+            resolved = {i: self.batches[b] for i, b in sources.items()}
+        self.store.interner.codes = consts
+        batch = plan.execute(
+            self.store,
+            self.db,
+            sources=resolved,
+            partition=(tuple(positions), int(n_shards), int(shard)),
+        )
+        stats, self.stats = self.stats, {k: 0 for k in self.stats}
+        return batch.cols, batch.signs, stats
+
+
+# --------------------------------------------------------------------- #
+# Controller side
+# --------------------------------------------------------------------- #
+
+
+class _ShadowTable:
+    """Controller-side record of what a relation's worker mirrors hold.
+
+    Pure code-level bookkeeping (never touches the interner), updated
+    only after a ship succeeds — so a crash-restore can rebuild any
+    worker's mirror exactly, even while other relations have pending
+    unflushed transition logs.
+    """
+
+    def __init__(self, arity: int) -> None:
+        self.arity = arity
+        self.rows: dict = {}  # packed key -> int32 code row
+
+    def load(self, codes: np.ndarray) -> None:
+        codes = np.asarray(codes, dtype=np.int32)
+        self.rows = dict(zip(pack_rows(codes).tolist(), list(codes)))
+
+    def apply_delta(self, codes: np.ndarray, signs) -> None:
+        codes = np.asarray(codes, dtype=np.int32)
+        keys = pack_rows(codes).tolist()
+        for i, (key, sign) in enumerate(zip(keys, signs)):
+            if sign > 0:
+                self.rows[key] = codes[i]
+            else:
+                self.rows.pop(key, None)
+
+    def matrix(self) -> np.ndarray:
+        if not self.rows:
+            return np.empty((0, self.arity), dtype=np.int32)
+        return np.stack(list(self.rows.values())).astype(np.int32, copy=False)
+
+
+class ShardedGroundingExecutor:
+    """Controller of a graphless worker pool executing plan shards.
+
+    One executor serves both grounders: :class:`~repro.grounding.
+    grounder.Grounder` routes every full body join through
+    :meth:`execute_full`, and :class:`~repro.grounding.incremental.
+    IncrementalGrounder` routes every fused delta term through
+    :meth:`execute_delta_term` (bracketed by :meth:`begin_update` /
+    :meth:`end_update` and fed old-state captures via
+    :meth:`capture_old`).  ``close()`` shuts the pool down; after a
+    degradation (see module docstring) the executor reports
+    ``active == False`` and callers take the serial path.
+    """
+
+    def __init__(
+        self,
+        db,
+        n_workers: int,
+        ctx=None,
+        command_timeout: float | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        if n_workers < 2:
+            raise ValueError(
+                f"sharded grounding needs n_workers >= 2, got {n_workers}"
+            )
+        from repro.inference.parallel import GibbsWorkerPool
+
+        self.db = db
+        self.store = db.columnar
+        self.n_workers = int(n_workers)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.degraded = False
+        self._active = True
+        #: relation name -> {"log": mirror log, "shadow": _ShadowTable,
+        #: "old": captured old-state matrix or None} in ship order.
+        self._relations: dict = {}
+        self._plan_pins: dict = {}   # id(plan) -> (plan_id, plan)
+        self._batch_pins: dict = {}  # id(batch) -> (batch_id, codes, signs, batch)
+        self._next_plan_id = 0
+        self._next_batch_id = 0
+        self.pool = GibbsWorkerPool(
+            None, self.n_workers, ctx=ctx, command_timeout=command_timeout
+        )
+        self.pool.session_restorer = self._restore_worker
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def close(self) -> None:
+        self._active = False
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            pool.close()
+        # The attached transition logs become orphans; Relation._notify
+        # collapses oversized orphan logs, so nothing leaks unbounded.
+        self._relations = {}
+        self._plan_pins = {}
+        self._batch_pins = {}
+
+    # ---- supervised fan-out ------------------------------------------ #
+
+    def _fan_out(self, per_worker_kwargs: list) -> list:
+        pool = self.pool
+        for w, kw in enumerate(per_worker_kwargs):
+            try:
+                pool.send(w, "ground", **kw)
+            except WorkerCrashError:
+                # recv() below sees the dead worker immediately; the
+                # retry path respawns it and re-sends this command.
+                pass
+        return [
+            self._collect(w, kw) for w, kw in enumerate(per_worker_kwargs)
+        ]
+
+    def _collect(self, worker: int, kwargs: dict):
+        pool = self.pool
+
+        def attempt(n):
+            if n > 1:
+                pool.send(worker, "ground", **kwargs)
+            return pool.recv(worker)
+
+        def on_retry(_n, _exc):
+            pool.respawn_worker(worker)
+
+        return self.retry.call(
+            attempt, retryable=(WorkerCrashError,), on_retry=on_retry
+        )
+
+    def _broadcast(self, op: str, **kwargs) -> list:
+        return self._fan_out(
+            [dict(op=op, **kwargs) for _ in range(self.n_workers)]
+        )
+
+    def _degrade(self, exc: BaseException) -> None:
+        """Permanent fallback: count it, stop the pool, go serial."""
+        self.degraded = True
+        self._active = False
+        self.store.stats["degradations"] += 1
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:
+                pass
+        raise _DegradedToSerial from exc
+
+    def _restore_worker(self, worker: int) -> None:
+        """Re-ship the whole session to one respawned worker (registered
+        as the pool's ``session_restorer``)."""
+        pool = self.pool
+
+        def ship(op, **kw):
+            pool.send(worker, "ground", op=op, **kw)
+            pool.recv(worker)
+
+        for name, entry in self._relations.items():
+            ship("load_table", name=name, codes=entry["shadow"].matrix())
+            if entry["old"] is not None:
+                ship("load_old", name=name, codes=entry["old"])
+        for plan_id, plan in self._plan_pins.values():
+            ship("add_plan", plan_id=plan_id, plan=plan)
+        for batch_id, codes, signs, _batch in self._batch_pins.values():
+            ship("add_batch", batch_id=batch_id, codes=codes, signs=signs)
+
+    # ---- session state shipping -------------------------------------- #
+
+    def _sync_relation(self, relation) -> None:
+        """First touch ships the full mirror; later touches flush the
+        pending transition log as a signed code delta.  The log drains —
+        and the shadow advances — only after the broadcast collected, so
+        a crash mid-ship retries from consistent state."""
+        name = relation.name
+        entry = self._relations.get(name)
+        store = self.store
+        if entry is None:
+            log: list = []
+            relation.attach_mirror(log)
+            codes = store.table(relation).visible_codes()
+            entry = {
+                "log": log,
+                "shadow": _ShadowTable(relation.arity),
+                "old": None,
+            }
+            self._relations[name] = entry
+            self._broadcast("load_table", name=name, codes=codes)
+            entry["shadow"].load(codes)
+            return
+        log = entry["log"]
+        if not log:
+            return
+        entries = list(log)
+        if any(row is None for row, _sign in entries):
+            # clear() sentinel: reload from scratch (covers everything
+            # drained, whatever preceded the sentinel).
+            codes = store.table(relation).visible_codes()
+            self._broadcast("load_table", name=name, codes=codes)
+            entry["shadow"].load(codes)
+        else:
+            rows = [row for row, _sign in entries]
+            signs = np.asarray(
+                [sign for _row, sign in entries], dtype=np.int64
+            )
+            # Every logged row is already interned: insertions were
+            # interned by the controller mirror's own sync (replayed in
+            # plan-step order before this flush), deletions were interned
+            # when they first became visible.
+            codes = store.interner.encode_rows(rows)
+            self._broadcast("delta", name=name, codes=codes, signs=signs)
+            entry["shadow"].apply_delta(codes, signs)
+        del log[: len(entries)]
+
+    def _ensure_plan(self, plan) -> int:
+        pin = self._plan_pins.get(id(plan))
+        if pin is None:
+            plan_id = self._next_plan_id
+            self._next_plan_id += 1
+            self._plan_pins[id(plan)] = (plan_id, plan)
+            self._broadcast("add_plan", plan_id=plan_id, plan=plan)
+            return plan_id
+        return pin[0]
+
+    def _ensure_batch(self, batch: ColumnarBatch) -> int:
+        pin = self._batch_pins.get(id(batch))
+        if pin is None:
+            batch_id = self._next_batch_id
+            self._next_batch_id += 1
+            codes, signs = batch.codes, batch.signs
+            self._batch_pins[id(batch)] = (batch_id, codes, signs, batch)
+            self._broadcast(
+                "add_batch", batch_id=batch_id, codes=codes, signs=signs
+            )
+            return batch_id
+        return pin[0]
+
+    # ---- update-epoch bracketing (incremental grounder) -------------- #
+
+    def begin_update(self) -> None:
+        if not self._active:
+            return
+        if self._batch_pins or any(
+            entry["old"] is not None for entry in self._relations.values()
+        ):
+            self.end_update()  # defensive: a failed update left state
+
+    def end_update(self) -> None:
+        for entry in self._relations.values():
+            entry["old"] = None
+        self._batch_pins = {}
+        if not self._active:
+            return
+        try:
+            self._broadcast("release_update")
+        except (WorkerCrashError, RuntimeError) as exc:
+            try:
+                self._degrade(exc)
+            except _DegradedToSerial:
+                pass
+
+    def capture_old(self, relation) -> None:
+        """Mirror of :meth:`ColumnarStore.capture_old` for the worker
+        mirrors — call right after it, before the ``apply_delta``."""
+        if not self._active:
+            return
+        try:
+            self._sync_relation(relation)
+            entry = self._relations[relation.name]
+            if entry["old"] is None:
+                entry["old"] = entry["shadow"].matrix()
+                self._broadcast("capture_old", name=relation.name)
+        except _DegradedToSerial:
+            pass
+        except (WorkerCrashError, RuntimeError) as exc:
+            try:
+                self._degrade(exc)
+            except _DegradedToSerial:
+                pass
+
+    # ---- execution entry points -------------------------------------- #
+
+    def execute_full(self, db, body, head_vars) -> BindingBatch:
+        """Sharded equivalent of the serial full body join."""
+        plan = self.store.plan(body)
+        if not self._active:
+            return plan.execute(self.store, db)
+        try:
+            return self._execute(plan, db, None, head_vars)
+        except _DegradedToSerial:
+            return plan.execute(self.store, db)
+
+    def execute_delta_term(self, db, plan, i, batch, head_vars) -> BindingBatch:
+        """Sharded execution of one fused delta term (plan ``i`` of the
+        body, fed by that position's signed delta batch)."""
+        if not self._active:
+            return plan.execute(self.store, db, sources={i: batch})
+        try:
+            return self._execute(plan, db, {i: batch}, head_vars)
+        except _DegradedToSerial:
+            return plan.execute(self.store, db, sources={i: batch})
+
+    def _execute(self, plan, db, sources, head_vars) -> BindingBatch:
+        store = self.store
+        try:
+            # Serial-equivalent mirror syncs in plan-step order (exactly
+            # what JoinPlan.resolve_tables performs), then the worker
+            # mirror flushes — by which point every logged row is
+            # interned, so the interner state matches the serial path's.
+            for step in plan.steps:
+                if step.is_source:
+                    continue
+                relation = db.relation(plan.atoms[step.atom_index].pred)
+                store.table(relation)
+                self._sync_relation(relation)
+            consts = {}
+            for step in plan.steps:
+                for value in step.const_values:
+                    consts[value] = store.interner.probe(value)
+            src_ids = None
+            if sources:
+                src_ids = {
+                    i: self._ensure_batch(batch)
+                    for i, batch in sources.items()
+                }
+            positions = head_partition_positions(plan, head_vars)
+            plan_id = self._ensure_plan(plan)
+            per_worker = [
+                dict(
+                    op="execute",
+                    plan_id=plan_id,
+                    sources=src_ids,
+                    consts=consts,
+                    positions=positions,
+                    n_shards=self.n_workers,
+                    shard=w,
+                )
+                for w in range(self.n_workers)
+            ]
+            results = self._fan_out(per_worker)
+        except (WorkerCrashError, RuntimeError) as exc:
+            self._degrade(exc)
+        return self._merge(results)
+
+    def _merge(self, results: list) -> BindingBatch:
+        """Concatenate shard outputs in worker-index order.
+
+        The order here is *not* load-bearing for determinism — every
+        fold site canonicalizes the batch — but merging in a fixed order
+        keeps the pre-canonical batch reproducible too (the shuffled-
+        completion regression test monkeypatches this seam).
+        """
+        stats = self.store.stats
+        for _cols, _signs, wstats in results:
+            for key, value in wstats.items():
+                stats[key] += value
+        stats["shard_batches_merged"] += len(results)
+        names = list(results[0][0])
+        cols = {
+            name: np.concatenate([r[0][name] for r in results])
+            for name in names
+        }
+        signs = np.concatenate([r[1] for r in results])
+        return BindingBatch(cols=cols, signs=signs)

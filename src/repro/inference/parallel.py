@@ -584,21 +584,49 @@ def _pack_worlds(worlds: list) -> tuple:
     return np.packbits(stacked, axis=1), len(worlds)
 
 
+def _noop() -> None:
+    """Finalizer stand-in for graphless workers (nothing to clean up)."""
+
+
 class _Worker:
     """Dispatch table of one worker process (chains and/or one shard)."""
 
     def __init__(self, spec: dict) -> None:
-        self.compiled, self.shm, self.views = attach_compiled(spec)
-        # Worker-side safety net: if this process dies abnormally (killed
-        # mid-command, unhandled interpreter exit), the attached segment
-        # view is still closed at GC/interpreter shutdown instead of
-        # pinning the segment until the controller unlinks it.
-        self._finalizer = weakref.finalize(
-            self, _cleanup_shm, self.shm, unlink=False
-        )
-        self.default_evidence = spec["evidence"]
+        if spec is None:
+            # Graphless pool (sharded grounding): there is no compiled
+            # export to attach — the grounding session ships its own
+            # columnar mirrors over the pipe instead.
+            self.compiled = self.shm = self.views = None
+            self._finalizer = weakref.finalize(self, _noop)
+            self.default_evidence = {}
+        else:
+            self.compiled, self.shm, self.views = attach_compiled(spec)
+            # Worker-side safety net: if this process dies abnormally
+            # (killed mid-command, unhandled interpreter exit), the
+            # attached segment view is still closed at GC/interpreter
+            # shutdown instead of pinning the segment until the
+            # controller unlinks it.
+            self._finalizer = weakref.finalize(
+                self, _cleanup_shm, self.shm, unlink=False
+            )
+            self.default_evidence = spec["evidence"]
         self.chains = {}
         self.shard = None
+        self.grounding = None
+
+    # ---- sharded-grounding mode -------------------------------------- #
+
+    def ground(self, op, **kwargs):
+        """Dispatch one sharded-grounding session command.
+
+        Lazily imported so chain/shard inference workers never pay for
+        the grounding module; the session holds this worker's columnar
+        mirrors, pinned plans, and pinned delta batches."""
+        if self.grounding is None:
+            from repro.grounding.sharded import GroundingWorkerSession
+
+            self.grounding = GroundingWorkerSession()
+        return self.grounding.dispatch(op, **kwargs)
 
     # ---- chain-ensemble mode ---------------------------------------- #
 
@@ -907,14 +935,20 @@ class GibbsWorkerPool:
         self._ctx = ctx
         self.n_workers = n_workers
         self.command_timeout = command_timeout
-        self.export = SharedGraphExport(compiled, extra=extra)
-        # Respawn baseline: the clean (compacted) spec of the current
-        # segment plus every patch-op dict shipped since.  A fresh worker
-        # attaches the baseline and replays the log — patch application
-        # is deterministic and in-place growth is idempotent (identical
-        # content rewritten), so it converges on the crashed worker's
-        # structural state.
-        self._spec = self.export.spec()
+        if compiled is None:
+            # Graphless pool: grounding dispatch only — no shared export
+            # segment; workers boot empty and are fed via ``ground``.
+            self.export = None
+            self._spec = None
+        else:
+            self.export = SharedGraphExport(compiled, extra=extra)
+            # Respawn baseline: the clean (compacted) spec of the current
+            # segment plus every patch-op dict shipped since.  A fresh
+            # worker attaches the baseline and replays the log — patch
+            # application is deterministic and in-place growth is
+            # idempotent (identical content rewritten), so it converges
+            # on the crashed worker's structural state.
+            self._spec = self.export.spec()
         self._patch_ops_log: list = []
         self._chain_log = [[] for _ in range(n_workers)]
         self._last_tb = [None] * n_workers
@@ -1081,6 +1115,8 @@ class GibbsWorkerPool:
     def audit_export(self) -> list:
         """Detect-and-repair pass over the shared regions (see
         :meth:`SharedGraphExport.verify_and_repair`)."""
+        if self.export is None:
+            return []
         return self.export.verify_and_repair()
 
     def broadcast(self, method: str, per_worker_kwargs) -> list:
@@ -1090,6 +1126,8 @@ class GibbsWorkerPool:
         return [self.recv(i) for i in range(self.n_workers)]
 
     def push_weights(self, store) -> None:
+        if self.export is None:
+            raise RuntimeError("graphless pool has no weight export")
         self.export.push_weights(store)
 
     def pids(self) -> list:
@@ -1132,7 +1170,8 @@ class GibbsWorkerPool:
             else:
                 _shutdown_pool(self._conns, self._procs)
         finally:
-            self.export.close()
+            if self.export is not None:
+                self.export.close()
 
     def __enter__(self):
         return self
